@@ -1,0 +1,139 @@
+// Package bao is the public API of this reproduction of "Bao: Making
+// Learned Query Optimization Practical" (Marcus et al., SIGMOD 2021).
+//
+// Bao is a learned steering layer over a traditional cost-based query
+// optimizer: for each query it asks the optimizer for one plan per *hint
+// set* (a subset of enabled operator classes), predicts each plan's
+// latency with a tree convolutional neural network, picks a plan via
+// Thompson sampling, and learns from the observed execution.
+//
+// This package re-exports the stable surface of the internal packages so
+// applications can depend on a single import:
+//
+//	eng := bao.NewEngine(bao.GradePostgreSQL, 8192)
+//	// ... create tables, insert rows, build indexes, eng.Analyze() ...
+//	opt := bao.New(eng, bao.DefaultConfig())
+//	res, sel, err := opt.Run("SELECT COUNT(*) FROM t1, t2 WHERE ...")
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture and substitutions, and EXPERIMENTS.md for the reproduction
+// of every table and figure in the paper's evaluation.
+package bao
+
+import (
+	"bao/internal/catalog"
+	"bao/internal/cloud"
+	"bao/internal/core"
+	"bao/internal/engine"
+	"bao/internal/executor"
+	"bao/internal/planner"
+	"bao/internal/storage"
+)
+
+// Engine is the embedded database engine (catalog, storage, statistics,
+// buffer pool, cost-based optimizer with enable_* hints, and executor).
+type Engine = engine.Engine
+
+// Estimation grades for the underlying optimizer.
+const (
+	GradePostgreSQL = engine.GradePostgreSQL
+	GradeComSys     = engine.GradeComSys
+)
+
+// NewEngine creates an engine with the given estimation grade and buffer
+// pool capacity in pages.
+func NewEngine(grade engine.Grade, poolPages int) *Engine {
+	return engine.New(grade, poolPages)
+}
+
+// Optimizer is Bao: the bandit layer selecting hint sets per query.
+type Optimizer = core.Bao
+
+// Result is an executed query's output: columns, rows, and work counters.
+type Result = engine.Result
+
+// OutCol names one output column of a result.
+type OutCol = planner.OutCol
+
+// Config controls an Optimizer.
+type Config = core.Config
+
+// Arm is one hint set in the bandit's arm family.
+type Arm = core.Arm
+
+// Selection reports a per-query arm choice.
+type Selection = core.Selection
+
+// Metric is the optimization goal (latency, CPU time, or disk I/O).
+type Metric = core.Metric
+
+// Optimization goals.
+const (
+	MetricLatency = core.MetricLatency
+	MetricCPU     = core.MetricCPU
+	MetricIO      = core.MetricIO
+)
+
+// New creates a Bao optimizer over an engine.
+func New(eng *Engine, cfg Config) *Optimizer { return core.New(eng, cfg) }
+
+// DefaultConfig returns the paper's configuration: 49 arms, sliding window
+// k=2000, retrain every n=100 queries, cache-aware featurization.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// FastConfig returns a laptop-scale configuration (smaller window, fewer
+// training epochs) with the same structure.
+func FastConfig() Config { return core.FastConfig() }
+
+// DefaultArms returns the full 49-arm family (join subsets × scan subsets).
+func DefaultArms() []Arm { return core.DefaultArms() }
+
+// TopArms returns the small high-value arm family of §6.3 (default plus
+// the five hint sets carrying 93% of the improvement).
+func TopArms(n int) []Arm { return core.TopArms(n) }
+
+// Hints is the boolean optimizer flag set (enable_hashjoin, ...).
+type Hints = planner.Hints
+
+// AllHintsOn returns the unhinted optimizer configuration.
+func AllHintsOn() Hints { return planner.AllOn() }
+
+// Schema/data construction types, re-exported for application setup.
+type (
+	// Table is a table schema.
+	Table = catalog.Table
+	// Column is a typed table column.
+	Column = catalog.Column
+	// Index describes a single-column secondary index.
+	Index = catalog.Index
+	// Row is a tuple.
+	Row = storage.Row
+	// Value is a single column value.
+	Value = storage.Value
+	// Counters are the executor's machine-independent work counters.
+	Counters = executor.Counters
+	// VMType is a simulated cloud hardware profile.
+	VMType = cloud.VMType
+)
+
+// Column types.
+const (
+	Int = catalog.Int
+	Str = catalog.Str
+)
+
+// MustTable builds a table schema, panicking on duplicate columns.
+func MustTable(name string, cols ...Column) *Table { return catalog.MustTable(name, cols...) }
+
+// IntVal makes an integer value.
+func IntVal(i int64) Value { return storage.IntVal(i) }
+
+// StrVal makes a string value.
+func StrVal(s string) Value { return storage.StrVal(s) }
+
+// ExecSeconds converts work counters into simulated seconds (the latency
+// metric all experiments report).
+func ExecSeconds(c Counters) float64 { return cloud.ExecSeconds(c) }
+
+// PagesForVM sizes a buffer pool for a simulated VM profile.
+func PagesForVM(vm VMType) int { return cloud.PagesForVM(vm) }

@@ -1,0 +1,101 @@
+package bao_test
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md §4
+// maps IDs to artifacts). Each benchmark regenerates its artifact through
+// the experiment harness at a reduced scale, so `go test -bench=.` sweeps
+// the whole evaluation; run cmd/baobench for full-scale output.
+
+import (
+	"io"
+	"testing"
+
+	"bao/internal/harness"
+)
+
+// benchOpts keeps benchmark iterations affordable; cmd/baobench uses the
+// full default scale.
+func benchOpts() harness.Options {
+	return harness.Options{Scale: 0.12, Queries: 100, Seed: 42, Out: io.Discard}
+}
+
+func runExp(b *testing.B, fn func(*harness.Session) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSession(benchOpts())
+		if err := fn(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Table1() })
+}
+
+func BenchmarkFigure1LoopJoin(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure1() })
+}
+
+func BenchmarkFigure7CostLatency(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure7() })
+}
+
+func BenchmarkFigure8VMTypes(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure8() })
+}
+
+func BenchmarkFigure9TailLatency(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure9() })
+}
+
+func BenchmarkFigure10Convergence(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure10() })
+}
+
+func BenchmarkFigure11Regressions(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure11() })
+}
+
+func BenchmarkFigure12Arms(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure12() })
+}
+
+func BenchmarkFigure13Concurrency(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure13() })
+}
+
+func BenchmarkFigure14PriorLearned(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure14() })
+}
+
+func BenchmarkFigure15aModels(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure15a() })
+}
+
+func BenchmarkFigure15bQError(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure15b() })
+}
+
+func BenchmarkFigure15cTrainTime(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure15c() })
+}
+
+func BenchmarkFigure16Regret(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Figure16() })
+}
+
+func BenchmarkHintAnalysis(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.HintAnalysis() })
+}
+
+func BenchmarkOptTime(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.OptTime() })
+}
+
+func BenchmarkCharacterization(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Characterize() })
+}
+
+func BenchmarkAblation(b *testing.B) {
+	runExp(b, func(s *harness.Session) error { return s.Ablation() })
+}

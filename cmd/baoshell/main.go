@@ -1,0 +1,188 @@
+// Command baoshell is an interactive SQL shell over the embedded engine
+// with Bao attached: load a synthetic dataset, run queries, inspect plans
+// with EXPLAIN (advisor-enriched when Bao has trained), and toggle
+// PostgreSQL-style session variables:
+//
+//	SET enable_nestloop TO off;   -- steer the native optimizer
+//	SET enable_bao TO on;         -- let Bao choose hint sets
+//	EXPLAIN SELECT ...;           -- plan + Bao advice
+//
+// Usage:
+//
+//	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0]
+//
+// With -train N, Bao first learns from N workload queries so EXPLAIN
+// advice and SET enable_bao are useful immediately.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bao"
+	"bao/internal/cloud"
+	"bao/internal/sqlparser"
+	"bao/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "IMDb", "dataset to load (IMDb, Stack, Corp)")
+	scale := flag.Float64("scale", 0.25, "dataset scale")
+	train := flag.Int("train", 0, "pre-train Bao on this many workload queries")
+	flag.Parse()
+
+	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	fmt.Printf("loading %s (scale %.2f)...\n", *wlName, *scale)
+	if err := inst.Setup(eng); err != nil {
+		fatal(err)
+	}
+	opt := bao.New(eng, bao.FastConfig())
+	if *train > 0 {
+		fmt.Printf("pre-training Bao on %d queries...\n", *train)
+		for _, q := range inst.Queries[:*train] {
+			if _, _, err := opt.Run(q.SQL); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("done (%d retrains)\n", len(opt.TrainEvents))
+	}
+	baoOn := false
+
+	fmt.Println(`type SQL (single line), \t for tables, \q to quit`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print(strings.ToLower(*wlName) + "=# ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		case line == `\t`:
+			for _, t := range eng.Schema.Tables() {
+				cols := make([]string, len(t.Columns))
+				for i, c := range t.Columns {
+					cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
+				}
+				fmt.Printf("  %s(%s)\n", t.Name, strings.Join(cols, ", "))
+			}
+			continue
+		}
+		stmt, err := sqlparser.Parse(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		switch st := stmt.(type) {
+		case *sqlparser.SetStmt:
+			if st.Name == "enable_bao" {
+				baoOn = st.Value == "on" || st.Value == "true" || st.Value == "1"
+				fmt.Println("SET")
+				continue
+			}
+			if err := eng.SetVar(st.Name, st.Value); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("SET")
+		case *sqlparser.ExplainStmt:
+			if !st.Analyze && opt.Trained() {
+				out, err := opt.ExplainWithAdvice(st.Query.String())
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Println(out)
+				continue
+			}
+			_, tag, err := eng.ExecSQL(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(tag)
+		case *sqlparser.SelectStmt:
+			start := time.Now()
+			if baoOn {
+				out, sel, err := opt.Run(st.String())
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				printRows(out)
+				fmt.Printf("(%d rows; %.2f ms simulated, %.2f ms wall; Bao arm %q)\n",
+					len(out.Rows), cloud.ExecSeconds(out.Counters)*1000,
+					float64(time.Since(start).Microseconds())/1000,
+					opt.Cfg.Arms[sel.ArmID].Name)
+			} else {
+				out, err := eng.Query(st.String())
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				printRows(out)
+				fmt.Printf("(%d rows; %.2f ms simulated, %.2f ms wall)\n",
+					len(out.Rows), cloud.ExecSeconds(out.Counters)*1000,
+					float64(time.Since(start).Microseconds())/1000)
+			}
+		default:
+			// DDL/DML and ANALYZE route through the engine directly.
+			_, tag, err := eng.ExecSQL(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(tag)
+		}
+	}
+}
+
+// printRows renders a result as a simple aligned table, truncating long
+// result sets the way psql's pager would.
+func printRows(res *bao.Result) {
+	names := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		names[i] = c.Name
+		if c.Alias != "" {
+			names[i] = c.Alias + "." + c.Name
+		}
+	}
+	fmt.Println(" " + strings.Join(names, " | "))
+	fmt.Println(strings.Repeat("-", 3+len(strings.Join(names, " | "))))
+	const maxRows = 25
+	for i, r := range res.Rows {
+		if i >= maxRows {
+			fmt.Printf(" ... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = v.String()
+		}
+		fmt.Println(" " + strings.Join(vals, " | "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "baoshell:", err)
+	os.Exit(1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

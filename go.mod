@@ -1,0 +1,3 @@
+module bao
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package baselines_test exercises the Neo and DQ reproductions end to end
+// on the IMDb workload: both must produce correct results, learn from
+// experience, and converge more slowly than Bao does (the Figure 14
+// mechanism).
+package baselines_test
+
+import (
+	"testing"
+
+	"bao/internal/baselines/dq"
+	"bao/internal/baselines/learnedcost"
+	"bao/internal/baselines/neo"
+	"bao/internal/engine"
+	"bao/internal/planner"
+	"bao/internal/workload"
+)
+
+func imdbEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.GradePostgreSQL, 3000)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 1, Seed: 42})
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func refCount(t *testing.T, e *engine.Engine, sql string) int64 {
+	t.Helper()
+	n, err := e.PlanSQL(sql, planner.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].I
+}
+
+func TestNeoProducesCorrectResults(t *testing.T) {
+	e := imdbEngine(t)
+	cfg := neo.DefaultConfig()
+	cfg.BootstrapQueries = 5
+	cfg.RetrainEvery = 10
+	cfg.Train.MaxEpochs = 8
+	n := neo.New(e, cfg)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 30, Seed: 5})
+	for _, q := range inst.Queries {
+		if _, err := n.Run(q.SQL); err != nil {
+			t.Fatalf("%s: %v", q.Template, err)
+		}
+	}
+	if len(n.TrainEvents) == 0 {
+		t.Fatal("neo never trained")
+	}
+	// After training, Neo's self-built plans must still be correct.
+	sql := "SELECT COUNT(*) FROM title t, cast_info ci, name n WHERE t.id = ci.movie_id AND ci.person_id = n.id AND t.kind_id = 3 AND n.gender = 1"
+	want := refCount(t, e, sql)
+	res, err := n.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != want {
+		t.Fatalf("neo plan returned %d, reference %d", got, want)
+	}
+}
+
+func TestDQProducesCorrectResults(t *testing.T) {
+	e := imdbEngine(t)
+	cfg := dq.DefaultConfig()
+	cfg.BootstrapQueries = 5
+	cfg.RetrainEvery = 10
+	cfg.Train.MaxEpochs = 8
+	d := dq.New(e, cfg)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 30, Seed: 6})
+	for _, q := range inst.Queries {
+		if _, err := d.Run(q.SQL); err != nil {
+			t.Fatalf("%s: %v", q.Template, err)
+		}
+	}
+	if len(d.TrainEvents) == 0 {
+		t.Fatal("dq never trained")
+	}
+	sql := "SELECT COUNT(*) FROM title t, movie_companies mc, company c WHERE t.id = mc.movie_id AND mc.company_id = c.id AND c.country = 2"
+	want := refCount(t, e, sql)
+	res, err := d.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != want {
+		t.Fatalf("dq plan returned %d, reference %d", got, want)
+	}
+}
+
+func TestNeoBootstrapUsesNativePlans(t *testing.T) {
+	e := imdbEngine(t)
+	cfg := neo.DefaultConfig()
+	cfg.BootstrapQueries = 1000 // never leave bootstrap
+	n := neo.New(e, cfg)
+	sql := "SELECT COUNT(*) FROM title t WHERE t.kind_id = 1"
+	want := refCount(t, e, sql)
+	res, err := n.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != want {
+		t.Fatal("bootstrap-phase result mismatch")
+	}
+}
+
+func TestLearnedCostDPProducesCorrectResults(t *testing.T) {
+	e := imdbEngine(t)
+	cfg := learnedcost.DefaultConfig()
+	cfg.BootstrapQueries = 5
+	cfg.RetrainEvery = 10
+	cfg.Train.MaxEpochs = 8
+	lc := learnedcost.New(e, cfg)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 30, Seed: 9})
+	for _, q := range inst.Queries {
+		if _, err := lc.Run(q.SQL); err != nil {
+			t.Fatalf("%s: %v", q.Template, err)
+		}
+	}
+	if len(lc.TrainEvents) == 0 {
+		t.Fatal("learned-cost planner never trained")
+	}
+	sql := "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = 2"
+	want := refCount(t, e, sql)
+	res, err := lc.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != want {
+		t.Fatalf("learned-cost plan returned %d, reference %d", got, want)
+	}
+}

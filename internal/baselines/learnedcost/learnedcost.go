@@ -1,0 +1,180 @@
+// Package learnedcost implements the future-work direction from §7 of the
+// paper: using Bao's predictive model as the *cost model inside* a
+// traditional optimizer. Instead of selecting among 49 whole-plan hint
+// sets (Bao) or searching plans greedily (Neo), it runs the classic
+// Selinger dynamic program but scores every candidate subplan with the
+// tree convolutional value network, falling back to the analytic cost
+// model until the network has trained.
+//
+// The harness's ablation experiment compares it against Bao and the native
+// optimizer: it can reach plans outside Bao's restricted action space, but
+// like Neo it loses the safety of the analytic model wherever the network
+// extrapolates.
+package learnedcost
+
+import (
+	"math/bits"
+	"time"
+
+	"bao/internal/cloud"
+	"bao/internal/core"
+	"bao/internal/engine"
+	"bao/internal/model"
+	"bao/internal/nn"
+	"bao/internal/planner"
+)
+
+// Config controls the learned-cost planner's training loop.
+type Config struct {
+	WindowSize   int
+	RetrainEvery int
+	Train        nn.TrainConfig
+	Seed         int64
+	// BootstrapQueries executes with the native optimizer while the first
+	// experience accumulates.
+	BootstrapQueries int
+}
+
+// DefaultConfig returns laptop-scale parameters.
+func DefaultConfig() Config {
+	t := nn.DefaultTrainConfig()
+	t.MaxEpochs = 25
+	t.Patience = 8
+	return Config{WindowSize: 500, RetrainEvery: 50, Train: t, Seed: 37, BootstrapQueries: 50}
+}
+
+type experience struct {
+	tree *nn.Tree
+	secs float64
+}
+
+// Planner is the learned-cost-model optimizer.
+type Planner struct {
+	Cfg   Config
+	Eng   *engine.Engine
+	Model *model.TCNNModel
+	Feat  core.Featurizer
+
+	exp         []experience
+	queriesSeen int
+	sinceTrain  int
+	trained     bool
+	TrainEvents []core.TrainEvent
+}
+
+// New constructs the planner over an engine.
+func New(eng *engine.Engine, cfg Config) *Planner {
+	return &Planner{Cfg: cfg, Eng: eng,
+		Model: model.NewTCNN(core.FeatureDim, cfg.Train, cfg.Seed)}
+}
+
+// Run plans (with the learned cost model once trained), executes, and
+// learns from the observation.
+func (p *Planner) Run(sql string) (*engine.Result, error) {
+	q, err := p.Eng.AnalyzeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	var plan *planner.Node
+	if !p.trained || p.queriesSeen < p.Cfg.BootstrapQueries {
+		plan, _, err = p.Eng.Plan(q, planner.AllOn())
+	} else {
+		plan, err = p.dpPlan(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Eng.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	p.observe(plan, cloud.ExecSeconds(res.Counters))
+	return res, nil
+}
+
+func (p *Planner) observe(plan *planner.Node, secs float64) {
+	p.queriesSeen++
+	p.sinceTrain++
+	p.exp = append(p.exp, experience{tree: p.Feat.Vectorize(plan), secs: secs})
+	if over := len(p.exp) - p.Cfg.WindowSize; over > 0 {
+		p.exp = p.exp[over:]
+	}
+	if p.sinceTrain >= p.Cfg.RetrainEvery && len(p.exp) >= 16 {
+		p.retrain()
+	}
+}
+
+func (p *Planner) retrain() {
+	p.sinceTrain = 0
+	trees := make([]*nn.Tree, len(p.exp))
+	secs := make([]float64, len(p.exp))
+	for i, e := range p.exp {
+		trees[i] = e.tree
+		secs[i] = e.secs
+	}
+	start := time.Now()
+	epochs := p.Model.Fit(trees, secs)
+	p.trained = true
+	p.TrainEvents = append(p.TrainEvents, core.TrainEvent{
+		AtQuery: p.queriesSeen, Samples: len(trees), Epochs: epochs,
+		WallSeconds:   time.Since(start).Seconds(),
+		SimGPUSeconds: cloud.GPUTrainSeconds(len(trees), epochs),
+	})
+}
+
+// score predicts a subplan's latency with the value network.
+func (p *Planner) score(n *planner.Node) float64 {
+	return p.Model.Predict([]*nn.Tree{p.Feat.Vectorize(n)})[0]
+}
+
+// dpPlan runs the Selinger dynamic program with the learned model as the
+// cost function: best[mask] minimizes the network's latency prediction for
+// the subtree rather than the analytic cost.
+func (p *Planner) dpPlan(q *planner.Query) (*planner.Node, error) {
+	space, err := p.Eng.Opt.NewSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	k := space.NumRelations()
+	best := make([]*planner.Node, 1<<k)
+	scores := make([]float64, 1<<k)
+	for i := 0; i < k; i++ {
+		s, err := space.Scan(i, planner.AllOn())
+		if err != nil {
+			return nil, err
+		}
+		best[1<<i] = s
+		scores[1<<i] = p.score(s)
+	}
+	ops := []planner.Op{planner.OpHashJoin, planner.OpMergeJoin, planner.OpNestLoop}
+	full := uint32(1<<k) - 1
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue
+		}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			l, r := best[sub], best[other]
+			if l == nil || r == nil || !space.Connected(sub, other) {
+				continue
+			}
+			for _, op := range ops {
+				jn := space.Join(op, l, r, sub, other)
+				if jn == nil {
+					continue
+				}
+				sc := p.score(jn)
+				if best[mask] == nil || sc < scores[mask] {
+					best[mask] = jn
+					scores[mask] = sc
+				}
+			}
+		}
+	}
+	if best[full] == nil {
+		// Disconnected under the model's choices; fall back to the native plan.
+		n, _, err := p.Eng.Plan(q, planner.AllOn())
+		return n, err
+	}
+	return space.Finish(best[full])
+}

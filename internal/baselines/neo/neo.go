@@ -1,0 +1,208 @@
+// Package neo reproduces the Neo learned optimizer (Marcus et al., VLDB
+// '19) as the Figure 14 comparison point: unlike Bao, Neo constructs whole
+// query plans itself — join order, join operators, and access paths — using
+// a tree convolutional value network and best-first search. It bootstraps
+// from the native optimizer's plans, then learns from its own executions.
+//
+// The consequence the paper measures is mechanical here too: Neo's action
+// space is exponentially larger than Bao's 49 arms, so it needs far more
+// experience to stop producing catastrophic plans, and a workload shift
+// invalidates much more of what it has learned.
+package neo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bao/internal/cloud"
+	"bao/internal/core"
+	"bao/internal/engine"
+	"bao/internal/model"
+	"bao/internal/nn"
+	"bao/internal/planner"
+)
+
+// Config controls Neo's training loop.
+type Config struct {
+	WindowSize   int
+	RetrainEvery int
+	Train        nn.TrainConfig
+	Seed         int64
+	// BootstrapQueries: how many initial queries use the native optimizer
+	// while collecting experience (Neo's "expert demonstration" phase).
+	BootstrapQueries int
+	// SearchWidth caps how many states best-first search expands per query.
+	SearchWidth int
+}
+
+// DefaultConfig returns laptop-scale Neo parameters.
+func DefaultConfig() Config {
+	t := nn.DefaultTrainConfig()
+	t.MaxEpochs = 20
+	t.Patience = 5
+	return Config{WindowSize: 500, RetrainEvery: 50, Train: t, Seed: 31,
+		BootstrapQueries: 50, SearchWidth: 64}
+}
+
+type experience struct {
+	tree *nn.Tree
+	secs float64
+}
+
+// Neo is the learned optimizer.
+type Neo struct {
+	Cfg   Config
+	Eng   *engine.Engine
+	Model *model.TCNNModel
+	Feat  core.Featurizer
+
+	exp         []experience
+	queriesSeen int
+	sinceTrain  int
+	trained     bool
+	rng         *rand.Rand
+	TrainEvents []core.TrainEvent
+}
+
+// New constructs Neo over an engine.
+func New(eng *engine.Engine, cfg Config) *Neo {
+	return &Neo{
+		Cfg:   cfg,
+		Eng:   eng,
+		Model: model.NewTCNN(core.FeatureDim, cfg.Train, cfg.Seed),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Run executes one query with Neo's current policy and learns from it.
+func (n *Neo) Run(sql string) (*engine.Result, error) {
+	q, err := n.Eng.AnalyzeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	var plan *planner.Node
+	if !n.trained || n.queriesSeen < n.Cfg.BootstrapQueries {
+		// Demonstration phase: native optimizer plans, Neo observes.
+		plan, _, err = n.Eng.Plan(q, planner.AllOn())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		plan, err = n.search(q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := n.Eng.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	n.observe(plan, cloud.ExecSeconds(res.Counters))
+	return res, nil
+}
+
+func (n *Neo) observe(plan *planner.Node, secs float64) {
+	n.queriesSeen++
+	n.sinceTrain++
+	n.exp = append(n.exp, experience{tree: n.Feat.Vectorize(plan), secs: secs})
+	if over := len(n.exp) - n.Cfg.WindowSize; over > 0 {
+		n.exp = n.exp[over:]
+	}
+	if n.sinceTrain >= n.Cfg.RetrainEvery && len(n.exp) >= 16 {
+		n.retrain()
+	}
+}
+
+func (n *Neo) retrain() {
+	n.sinceTrain = 0
+	trees := make([]*nn.Tree, len(n.exp))
+	secs := make([]float64, len(n.exp))
+	for i, e := range n.exp {
+		trees[i] = e.tree
+		secs[i] = e.secs
+	}
+	start := time.Now()
+	epochs := n.Model.Fit(trees, secs)
+	n.trained = true
+	n.TrainEvents = append(n.TrainEvents, core.TrainEvent{
+		AtQuery: n.queriesSeen, Samples: len(trees), Epochs: epochs,
+		WallSeconds:   time.Since(start).Seconds(),
+		SimGPUSeconds: cloud.GPUTrainSeconds(len(trees), epochs),
+	})
+}
+
+// state is a forest of subplans during search.
+type state struct {
+	subs  []*planner.Node
+	masks []uint32
+	score float64
+}
+
+// search builds a complete plan greedily guided by the value network:
+// starting from per-relation scans, it repeatedly applies the join action
+// whose resulting partial plan the network scores best, evaluating up to
+// SearchWidth candidate actions per step (a beam-1 variant of Neo's
+// best-first search, which keeps planning latency bounded).
+func (n *Neo) search(q *planner.Query) (*planner.Node, error) {
+	space, err := n.Eng.Opt.NewSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	k := space.NumRelations()
+	cur := state{}
+	for i := 0; i < k; i++ {
+		// Neo also chooses access paths; we use the cheapest scan per
+		// relation as its leaf policy (its paper's leaf heuristic).
+		s, err := space.Scan(i, planner.AllOn())
+		if err != nil {
+			return nil, err
+		}
+		cur.subs = append(cur.subs, s)
+		cur.masks = append(cur.masks, 1<<uint(i))
+	}
+	ops := []planner.Op{planner.OpHashJoin, planner.OpMergeJoin, planner.OpNestLoop}
+	for len(cur.subs) > 1 {
+		type action struct {
+			i, j int
+			node *planner.Node
+		}
+		var best *action
+		bestScore := 0.0
+		evaluated := 0
+		for i := 0; i < len(cur.subs) && evaluated < n.Cfg.SearchWidth; i++ {
+			for j := 0; j < len(cur.subs) && evaluated < n.Cfg.SearchWidth; j++ {
+				if i == j || !space.Connected(cur.masks[i], cur.masks[j]) {
+					continue
+				}
+				for _, op := range ops {
+					jn := space.Join(op, cur.subs[i], cur.subs[j], cur.masks[i], cur.masks[j])
+					if jn == nil {
+						continue
+					}
+					evaluated++
+					score := n.Model.Predict([]*nn.Tree{n.Feat.Vectorize(jn)})[0]
+					if best == nil || score < bestScore {
+						best = &action{i: i, j: j, node: jn}
+						bestScore = score
+					}
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("neo: no joinable pair found")
+		}
+		var subs []*planner.Node
+		var masks []uint32
+		for x := range cur.subs {
+			if x != best.i && x != best.j {
+				subs = append(subs, cur.subs[x])
+				masks = append(masks, cur.masks[x])
+			}
+		}
+		subs = append(subs, best.node)
+		masks = append(masks, cur.masks[best.i]|cur.masks[best.j])
+		cur = state{subs: subs, masks: masks}
+	}
+	return space.Finish(cur.subs[0])
+}

@@ -1,0 +1,126 @@
+package bufferpool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pid(table string, page int) PageID { return PageID{Table: table, Page: int32(page)} }
+
+func TestHitMissAccounting(t *testing.T) {
+	p := New(2)
+	if p.Access(pid("a", 0)) {
+		t.Fatal("first access should miss")
+	}
+	if !p.Access(pid("a", 0)) {
+		t.Fatal("second access should hit")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(2)
+	p.Access(pid("a", 0))
+	p.Access(pid("a", 1))
+	p.Access(pid("a", 0)) // touch 0, making 1 the LRU
+	p.Access(pid("a", 2)) // evicts 1
+	if !p.Contains(pid("a", 0)) {
+		t.Fatal("recently used page evicted")
+	}
+	if p.Contains(pid("a", 1)) {
+		t.Fatal("LRU page not evicted")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 5; i++ {
+		if p.Access(pid("a", 0)) {
+			t.Fatal("zero-capacity pool should never hit")
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatal("zero-capacity pool stored a page")
+	}
+}
+
+func TestCachedFraction(t *testing.T) {
+	p := New(10)
+	for i := 0; i < 5; i++ {
+		p.Access(pid("movies", i))
+	}
+	p.Access(PageID{Table: "movies", Index: true, Page: 0}) // index pages don't count
+	if got := p.CachedFraction("movies", 10); got != 0.5 {
+		t.Fatalf("CachedFraction = %g, want 0.5", got)
+	}
+	if got := p.CachedFraction("movies", 0); got != 0 {
+		t.Fatalf("CachedFraction with 0 pages = %g, want 0", got)
+	}
+	// Fraction is clamped to 1 even if the caller passes a stale page count.
+	if got := p.CachedFraction("movies", 3); got != 1 {
+		t.Fatalf("CachedFraction clamp = %g, want 1", got)
+	}
+}
+
+func TestPerTableCountTracksEviction(t *testing.T) {
+	p := New(2)
+	p.Access(pid("a", 0))
+	p.Access(pid("a", 1))
+	p.Access(pid("b", 0)) // evicts a/0
+	if got := p.CachedFraction("a", 2); got != 0.5 {
+		t.Fatalf("after eviction CachedFraction(a) = %g, want 0.5", got)
+	}
+}
+
+func TestResize(t *testing.T) {
+	p := New(4)
+	for i := 0; i < 4; i++ {
+		p.Access(pid("a", i))
+	}
+	p.Resize(2)
+	if p.Len() != 2 {
+		t.Fatalf("Len after shrink = %d, want 2", p.Len())
+	}
+	// The two most recently used pages (2, 3) survive.
+	if !p.Contains(pid("a", 3)) || !p.Contains(pid("a", 2)) {
+		t.Fatal("shrink evicted the wrong pages")
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := New(4)
+	p.Access(pid("a", 0))
+	p.Clear()
+	if p.Len() != 0 || p.Stats() != (Stats{}) {
+		t.Fatal("Clear left state behind")
+	}
+	if p.CachedFraction("a", 1) != 0 {
+		t.Fatal("Clear left per-table counts")
+	}
+}
+
+// Property: pool size never exceeds capacity and hits+misses equals the
+// number of accesses.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capn := rng.Intn(16)
+		p := New(capn)
+		accesses := 200
+		for i := 0; i < accesses; i++ {
+			p.Access(pid("t", rng.Intn(32)))
+			if p.Len() > capn {
+				return false
+			}
+		}
+		s := p.Stats()
+		return s.Hits+s.Misses == int64(accesses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

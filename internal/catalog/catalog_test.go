@@ -1,0 +1,66 @@
+package catalog
+
+import "testing"
+
+func TestTableColumns(t *testing.T) {
+	tab, err := NewTable("movies", Column{"id", Int}, Column{"title", Str})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ColumnIndex("TITLE"); got != 1 {
+		t.Fatalf("ColumnIndex case-insensitive lookup = %d, want 1", got)
+	}
+	if got := tab.ColumnIndex("nope"); got != -1 {
+		t.Fatalf("missing column = %d, want -1", got)
+	}
+	if _, err := NewTable("dup", Column{"a", Int}, Column{"A", Str}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestSchemaTablesAndIndexes(t *testing.T) {
+	s := NewSchema()
+	s.AddTable(MustTable("movies", Column{"id", Int}, Column{"year", Int}))
+	s.AddTable(MustTable("actors", Column{"id", Int}))
+	if _, ok := s.Table("MOVIES"); !ok {
+		t.Fatal("case-insensitive table lookup failed")
+	}
+	names := []string{}
+	for _, tab := range s.Tables() {
+		names = append(names, tab.Name)
+	}
+	if names[0] != "actors" || names[1] != "movies" {
+		t.Fatalf("Tables() not sorted: %v", names)
+	}
+	if err := s.AddIndex(Index{Name: "ix", Table: "movies", Column: "year"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(Index{Name: "bad", Table: "movies", Column: "nope"}); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+	if err := s.AddIndex(Index{Name: "bad2", Table: "nope", Column: "x"}); err == nil {
+		t.Fatal("index on unknown table accepted")
+	}
+	if _, ok := s.IndexOn("movies", "YEAR"); !ok {
+		t.Fatal("IndexOn lookup failed")
+	}
+	if _, ok := s.IndexOn("movies", "id"); ok {
+		t.Fatal("IndexOn found nonexistent index")
+	}
+	s.DropTable("movies")
+	if _, ok := s.Table("movies"); ok {
+		t.Fatal("DropTable did not remove table")
+	}
+	if len(s.Indexes("movies")) != 0 {
+		t.Fatal("DropTable did not remove indexes")
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	s := NewSchema()
+	fk := ForeignKey{Table: "cast", Column: "movie_id", RefTable: "movies", RefColumn: "id"}
+	s.AddForeignKey(fk)
+	if got := s.ForeignKeys(); len(got) != 1 || got[0] != fk {
+		t.Fatalf("ForeignKeys = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package cloud turns the executor's machine-independent work counters into
+// deterministic simulated time and dollars, modeling the Google Cloud
+// environment of the paper's evaluation: N1 VM types (cores, RAM-scaled
+// buffer pools, prices) and a detachable Tesla T4 GPU billed per second
+// while model training runs. See DESIGN.md §2 for why a counter-driven
+// clock preserves the relative shapes the paper reports.
+package cloud
+
+import (
+	"time"
+
+	"bao/internal/executor"
+)
+
+// VMType describes one virtual machine profile.
+type VMType struct {
+	Name         string
+	Cores        int
+	RAMGB        int
+	PricePerHour float64 // USD, as billed by Google for N1 standard types
+}
+
+// The four VM types from Figures 8–10.
+var (
+	N1_2  = VMType{Name: "N1-2", Cores: 2, RAMGB: 7, PricePerHour: 0.095}
+	N1_4  = VMType{Name: "N1-4", Cores: 4, RAMGB: 15, PricePerHour: 0.19}
+	N1_8  = VMType{Name: "N1-8", Cores: 8, RAMGB: 30, PricePerHour: 0.38}
+	N1_16 = VMType{Name: "N1-16", Cores: 16, RAMGB: 60, PricePerHour: 0.76}
+)
+
+// AllVMs lists the profiles smallest to largest.
+func AllVMs() []VMType { return []VMType{N1_2, N1_4, N1_8, N1_16} }
+
+// GPUPricePerHour is the attachable Tesla T4 price.
+const GPUPricePerHour = 0.35
+
+// Clock calibration constants. The absolute values are arbitrary (we do
+// not claim to match the paper's milliseconds); what matters is the ratio
+// structure: random I/O ≫ sequential I/O ≫ CPU op, and page misses
+// dominating CPU for I/O-bound plans.
+const (
+	cpuOpsPerSecond = 50e6   // effective tuple-ops per core-second
+	seqReadSeconds  = 200e-6 // per sequential page miss
+	randReadSeconds = 600e-6 // per random page miss
+	pageHitSeconds  = 1e-6   // buffer-pool hit
+)
+
+// TimeCompression is the ratio between the paper's wall-clock scale and
+// this reproduction's simulated scale: the scaled-down datasets execute
+// roughly this much faster than the originals. Billing converts
+// real-world-scale charges (GPU training, attach minimums) into the
+// compressed scale so cost comparisons stay coherent.
+const TimeCompression = 50.0
+
+// PagesForVM sizes the buffer pool from VM RAM: bigger machines cache more
+// of the database, which is how hardware type changes plan economics. The
+// ratios mirror the paper's setting, where even the largest VM cannot hold
+// the bigger datasets entirely in memory.
+func PagesForVM(vm VMType) int { return vm.RAMGB * 20 }
+
+// ExecSeconds converts execution counters into simulated seconds on one
+// core of the VM.
+func ExecSeconds(c executor.Counters) float64 {
+	seqMisses := c.PageMisses - c.RandReads
+	return float64(c.CPUOps)/cpuOpsPerSecond +
+		float64(seqMisses)*seqReadSeconds +
+		float64(c.RandReads)*randReadSeconds +
+		float64(c.PageHits)*pageHitSeconds
+}
+
+// ExecTime is ExecSeconds as a Duration.
+func ExecTime(c executor.Counters) time.Duration {
+	return time.Duration(ExecSeconds(c) * float64(time.Second))
+}
+
+// CPUSeconds is the CPU-only component (Figure 16a's regret metric).
+func CPUSeconds(c executor.Counters) float64 {
+	return float64(c.CPUOps) / cpuOpsPerSecond
+}
+
+// Optimization-time model: a fixed parse/startup cost plus per-candidate
+// join enumeration work. Calibrated so single-plan optimization lands near
+// PostgreSQL's reported ≈140 ms maximum and Bao's 49 parallel arms near
+// ≈230 ms (§6.2).
+// The constants live in the same compressed time scale as the execution
+// clock (our scaled-down datasets execute ~50× faster than the paper's,
+// so optimization times scale down with them, preserving the ratios §6.2
+// reports: Bao ≈ 1.5–2× the single-plan optimization time on a large VM).
+const (
+	planFixedSeconds     = 3e-4
+	planCandidateSeconds = 3e-6
+	inferenceSeconds     = 1.5e-3 // TCNN inference over all arms (batched)
+)
+
+// PlanSeconds converts one plan's enumeration effort into seconds.
+func PlanSeconds(candidates int) float64 {
+	return planFixedSeconds + float64(candidates)*planCandidateSeconds
+}
+
+// BaoPlanSeconds models planning `arms` hint sets with the given
+// per-arm candidate counts, scheduled greedily across the VM's cores, plus
+// one batched value-model inference.
+func BaoPlanSeconds(vm VMType, candidates []int) float64 {
+	if len(candidates) == 0 {
+		return 0
+	}
+	cores := vm.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	// Greedy longest-processing-time schedule: identical-cost arms make
+	// this exact; close enough for heterogeneous ones.
+	load := make([]float64, cores)
+	for _, c := range candidates {
+		mi := 0
+		for i := 1; i < cores; i++ {
+			if load[i] < load[mi] {
+				mi = i
+			}
+		}
+		load[mi] += PlanSeconds(c)
+	}
+	max := load[0]
+	for _, l := range load[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max + inferenceSeconds
+}
+
+// GPU training-time model (Figure 15c): attach overhead plus
+// samples×epochs×FLOPs at the T4's effective small-batch throughput.
+const (
+	gpuAttachSeconds   = 30.0
+	gpuEffectiveFlops  = 1e10
+	flopsPerTreeSample = 4e6 // forward+backward through the paper-size TCNN
+)
+
+// GPUTrainSeconds estimates offloaded training time for one retrain.
+func GPUTrainSeconds(samples, epochs int) float64 {
+	return gpuAttachSeconds + float64(samples)*float64(epochs)*flopsPerTreeSample/gpuEffectiveFlops
+}
+
+// Bill accumulates chargeable time.
+type Bill struct {
+	VMSeconds  float64
+	GPUSeconds float64
+}
+
+// AddVM charges VM time.
+func (b *Bill) AddVM(sec float64) { b.VMSeconds += sec }
+
+// AddGPU charges one GPU attach-train-detach cycle, converted into the
+// compressed time scale. Google bills a one-minute minimum per attachment.
+func (b *Bill) AddGPU(sec float64) {
+	if sec < 60 {
+		sec = 60
+	}
+	b.GPUSeconds += sec / TimeCompression
+}
+
+// Cost totals the bill in USD for the VM type.
+func (b Bill) Cost(vm VMType) float64 {
+	return b.VMSeconds/3600*vm.PricePerHour + b.GPUSeconds/3600*GPUPricePerHour
+}

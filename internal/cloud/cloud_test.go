@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"testing"
+
+	"bao/internal/executor"
+)
+
+func TestExecSecondsOrdering(t *testing.T) {
+	cheap := executor.Counters{CPUOps: 1000, PageHits: 10}
+	ioHeavy := executor.Counters{CPUOps: 1000, PageMisses: 5000}
+	cpuHeavy := executor.Counters{CPUOps: 2e9}
+	if ExecSeconds(cheap) >= ExecSeconds(ioHeavy) {
+		t.Fatal("I/O-heavy plan not slower than cached plan")
+	}
+	if ExecSeconds(cpuHeavy) < 10 {
+		t.Fatalf("catastrophic CPU plan = %.2fs, want tens of seconds", ExecSeconds(cpuHeavy))
+	}
+	if randReadSeconds <= seqReadSeconds {
+		t.Fatal("random reads must cost more than sequential reads")
+	}
+}
+
+func TestRandomVsSeqReads(t *testing.T) {
+	seq := executor.Counters{PageMisses: 1000}
+	rnd := executor.Counters{PageMisses: 1000, RandReads: 1000}
+	if ExecSeconds(rnd) <= ExecSeconds(seq) {
+		t.Fatal("random misses not billed above sequential misses")
+	}
+}
+
+func TestPagesForVMMonotonic(t *testing.T) {
+	vms := AllVMs()
+	for i := 1; i < len(vms); i++ {
+		if PagesForVM(vms[i]) <= PagesForVM(vms[i-1]) {
+			t.Fatalf("%s buffer pool not larger than %s", vms[i].Name, vms[i-1].Name)
+		}
+	}
+}
+
+func TestBaoPlanSecondsParallelism(t *testing.T) {
+	// 48 equal arms on 16 cores should take ~3 serial arm times, far less
+	// than 48 serial; on 2 cores, ~24.
+	cands := make([]int, 48)
+	for i := range cands {
+		cands[i] = 500
+	}
+	t16 := BaoPlanSeconds(N1_16, cands)
+	t2 := BaoPlanSeconds(N1_2, cands)
+	serial := 0.0
+	for _, c := range cands {
+		serial += PlanSeconds(c)
+	}
+	if t16 >= t2 {
+		t.Fatal("more cores should speed up arm planning")
+	}
+	if t16 > serial/8 {
+		t.Fatalf("N1-16 arm planning %.3fs too close to serial %.3fs", t16, serial)
+	}
+	if BaoPlanSeconds(N1_4, nil) != 0 {
+		t.Fatal("no arms should cost nothing")
+	}
+}
+
+func TestPlanTimeCalibration(t *testing.T) {
+	// A heavyweight single plan should stay in the PostgreSQL-like range
+	// (≤ ~200ms), and 49 arms on N1-4 near the paper's ≈230ms.
+	if s := PlanSeconds(3000); s > 0.05 {
+		t.Fatalf("single plan %.3fs out of calibration", s)
+	}
+	cands := make([]int, 49)
+	for i := range cands {
+		cands[i] = 800
+	}
+	if s := BaoPlanSeconds(N1_4, cands); s < 0.002 || s > 0.2 {
+		t.Fatalf("Bao planning %.3fs out of calibration", s)
+	}
+}
+
+func TestGPUTrainSecondsGrowsWithWindow(t *testing.T) {
+	small := GPUTrainSeconds(500, 50)
+	large := GPUTrainSeconds(5000, 50)
+	if large <= small {
+		t.Fatal("training time must grow with window size")
+	}
+	if large > 600 {
+		t.Fatalf("k=5000 training %.0fs, want minutes not tens of minutes", large)
+	}
+}
+
+func TestBillMinimumsAndCost(t *testing.T) {
+	var b Bill
+	b.AddVM(3600)
+	b.AddGPU(10) // below the one-minute minimum
+	if b.GPUSeconds != 60/TimeCompression {
+		t.Fatalf("GPU minimum not applied: %v", b.GPUSeconds)
+	}
+	cost := b.Cost(N1_4)
+	want := 0.19 + 60.0/TimeCompression/3600*GPUPricePerHour
+	if diff := cost - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements Bao itself: the family of hint-set arms, plan
+// vectorization (binarization + one-hot/cost/cardinality/cache features),
+// the Thompson-sampling bandit loop with a sliding experience window and
+// periodic bootstrap retraining, advisor mode, and triggered exploration
+// for critical queries.
+package core
+
+import (
+	"strings"
+
+	"bao/internal/planner"
+)
+
+// Arm is one hint set — one arm of the contextual multi-armed bandit.
+type Arm struct {
+	ID    int
+	Name  string
+	Hints planner.Hints
+}
+
+// DefaultArms enumerates every non-empty subset of join operators crossed
+// with every non-empty subset of scan operators: 7×7 = 49 arms. Arm 0 is
+// all-enabled — the unhinted optimizer. (The paper reports 48 hint sets,
+// i.e. the 49 combinations minus the all-enabled default; we keep the
+// default as arm 0 so the arm family always contains the baseline plan.)
+func DefaultArms() []Arm {
+	var arms []Arm
+	joinNames := []string{"hash", "merge", "loop"}
+	scanNames := []string{"seq", "index", "indexonly"}
+	// Enumerate so that arm 0 (all bits set) comes first.
+	for j := 7; j >= 1; j-- {
+		for s := 7; s >= 1; s-- {
+			h := planner.Hints{
+				HashJoin:      j&1 != 0,
+				MergeJoin:     j&2 != 0,
+				NestLoop:      j&4 != 0,
+				SeqScan:       s&1 != 0,
+				IndexScan:     s&2 != 0,
+				IndexOnlyScan: s&4 != 0,
+			}
+			var parts []string
+			for bi, n := range joinNames {
+				if j&(1<<bi) != 0 {
+					parts = append(parts, n)
+				}
+			}
+			for bi, n := range scanNames {
+				if s&(1<<bi) != 0 {
+					parts = append(parts, n)
+				}
+			}
+			arms = append(arms, Arm{ID: len(arms), Name: strings.Join(parts, "+"), Hints: h})
+		}
+	}
+	return arms
+}
+
+// TopArms returns the empirically strongest small arm family used by the
+// Figure 12 reduced-arm experiments: the default plus the five hint sets
+// §6.3 credits with 93% of the improvement.
+func TopArms(n int) []Arm {
+	all := planner.AllOn()
+	noNL := all
+	noNL.NestLoop = false
+	noIdxMerge := all
+	noIdxMerge.IndexScan = false
+	noIdxMerge.MergeJoin = false
+	noNLMergeIdx := all
+	noNLMergeIdx.NestLoop = false
+	noNLMergeIdx.MergeJoin = false
+	noNLMergeIdx.IndexScan = false
+	noHash := all
+	noHash.HashJoin = false
+	noMerge := all
+	noMerge.MergeJoin = false
+	cands := []Arm{
+		{Name: "default", Hints: all},
+		{Name: "no_nestloop", Hints: noNL},
+		{Name: "no_indexscan+mergejoin", Hints: noIdxMerge},
+		{Name: "no_nestloop+mergejoin+indexscan", Hints: noNLMergeIdx},
+		{Name: "no_hashjoin", Hints: noHash},
+		{Name: "no_mergejoin", Hints: noMerge},
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]Arm, n)
+	copy(out, cands[:n])
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}

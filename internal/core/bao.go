@@ -1,0 +1,679 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+	"bao/internal/executor"
+	"bao/internal/model"
+	"bao/internal/nn"
+	"bao/internal/planner"
+	"bao/internal/storage"
+)
+
+// Metric is the user-defined performance metric P the bandit minimizes
+// (§3). Latency is the default; CPU and I/O reproduce the customizable
+// optimization goals of Figure 16.
+type Metric int
+
+// Supported metrics.
+const (
+	MetricLatency Metric = iota
+	MetricCPU
+	MetricIO
+)
+
+// Value extracts the metric from execution counters, in seconds (I/O is
+// reported as physical reads scaled to seconds-equivalent units so one
+// model handles all metrics).
+func (m Metric) Value(c executor.Counters) float64 {
+	switch m {
+	case MetricCPU:
+		return cloud.CPUSeconds(c)
+	case MetricIO:
+		return float64(c.PageMisses) * 1e-4
+	default:
+		return cloud.ExecSeconds(c)
+	}
+}
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricCPU:
+		return "cpu"
+	case MetricIO:
+		return "io"
+	default:
+		return "latency"
+	}
+}
+
+// Config controls a Bao instance. The defaults mirror the paper's tuned
+// values: 49 arms, sliding window k=2000, retrain every n=100 queries.
+type Config struct {
+	Arms         []Arm
+	WindowSize   int // k: most recent experiences kept
+	RetrainEvery int // n: queries between model retrains
+	CacheAware   bool
+	Train        nn.TrainConfig
+	Metric       Metric
+	Seed         int64
+	// ArmWarmup restricts arm selection to the small proven family
+	// (TopArms) for the first N retrains, then opens the full family —
+	// the paper's §1 extensibility property ("Bao can be extended by
+	// adding new query hints over time, without retraining") used as a
+	// curriculum: new arms join once the model has matured enough to
+	// judge them. Zero disables the warm-up.
+	ArmWarmup int
+	// ParallelPlanning plans the arms on separate goroutines (each with
+	// its own planner over the shared read-only statistics), the "each of
+	// the n query plans can be generated and evaluated in parallel"
+	// optimization of §2. Off by default: the experiment harness models
+	// parallel planning time analytically (cloud.BaoPlanSeconds) and
+	// single-goroutine planning keeps runs deterministic profile-to-wall.
+	ParallelPlanning bool
+	// NewModel overrides the value model (Figure 15a swaps in RF/Linear).
+	// When nil a TCNN is used.
+	NewModel func() model.Model
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Arms:         DefaultArms(),
+		WindowSize:   2000,
+		RetrainEvery: 100,
+		CacheAware:   true,
+		Train:        nn.DefaultTrainConfig(),
+		Metric:       MetricLatency,
+		Seed:         17,
+		ArmWarmup:    8,
+	}
+}
+
+// FastConfig returns a laptop-scale configuration used by tests and the
+// default experiment harness: fewer epochs and a smaller window, same
+// structure.
+func FastConfig() Config {
+	c := DefaultConfig()
+	c.WindowSize = 500
+	c.RetrainEvery = 50
+	c.Train.MaxEpochs = 35
+	c.Train.Patience = 10
+	return c
+}
+
+// Experience is one observed (plan tree, performance) pair (§3).
+type Experience struct {
+	Tree     *nn.Tree
+	Secs     float64
+	ArmID    int
+	Key      string // query identity, used by triggered exploration
+	Critical bool
+}
+
+// TrainEvent records one model retrain for cost accounting: the measured
+// wall time on this machine and the simulated detachable-GPU time the
+// cloud billing model charges.
+type TrainEvent struct {
+	AtQuery       int
+	Samples       int
+	Epochs        int
+	WallSeconds   float64
+	SimGPUSeconds float64
+}
+
+// Selection is the outcome of Bao's per-query arm choice.
+type Selection struct {
+	SQL        string
+	Query      *planner.Query
+	ArmID      int
+	Plans      []*planner.Node // one per arm
+	Trees      []*nn.Tree
+	Preds      []float64 // model predictions (seconds); nil before first train
+	Candidates []int     // planner effort per arm, for the optimization-time model
+	UsedModel  bool
+}
+
+// recentKeep is how many of the newest experiences are always included in
+// a retrain alongside the bootstrap sample.
+const recentKeep = 8
+
+// Bao is the bandit optimizer: it sits on top of an engine's traditional
+// optimizer and selects hint sets per query via Thompson sampling.
+type Bao struct {
+	Cfg   Config
+	Eng   *engine.Engine
+	Model model.Model
+	Feat  Featurizer
+
+	// Enabled gates arm selection (SET enable_bao); when disabled, Run
+	// uses the engine's default optimizer but can still learn off-policy.
+	Enabled bool
+	// AdvisorMode keeps observing executions for training while never
+	// steering plans (§4).
+	AdvisorMode bool
+
+	exp         []Experience
+	critical    map[string][]Experience
+	markedCrit  map[string]string // key → SQL
+	queriesSeen int
+	sinceTrain  int
+	trainCount  int
+	trained     bool
+	warmupArms  []int // Cfg.Arms indices selectable during warm-up
+	rng         *rand.Rand
+
+	TrainEvents []TrainEvent
+}
+
+// New constructs Bao on top of an engine.
+func New(eng *engine.Engine, cfg Config) *Bao {
+	if len(cfg.Arms) == 0 {
+		cfg.Arms = DefaultArms()
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 2000
+	}
+	if cfg.RetrainEvery <= 0 {
+		cfg.RetrainEvery = 100
+	}
+	b := &Bao{
+		Cfg:        cfg,
+		Eng:        eng,
+		Enabled:    true,
+		critical:   make(map[string][]Experience),
+		markedCrit: make(map[string]string),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.NewModel != nil {
+		b.Model = cfg.NewModel()
+	} else {
+		b.Model = model.NewTCNN(FeatureDim, cfg.Train, cfg.Seed)
+	}
+	// Resolve the warm-up family to indices in the configured arm list.
+	if cfg.ArmWarmup > 0 {
+		for _, top := range TopArms(6) {
+			for i, arm := range cfg.Arms {
+				if arm.Hints == top.Hints {
+					b.warmupArms = append(b.warmupArms, i)
+					break
+				}
+			}
+		}
+	}
+	if cfg.CacheAware {
+		b.Feat.CacheFrac = func(table string, indexOnly bool) float64 {
+			t, ok := eng.DB.Table(table)
+			if !ok {
+				return 0
+			}
+			if indexOnly {
+				ixPages := (t.NumRows() + storage.IndexEntriesPerPage - 1) / storage.IndexEntriesPerPage
+				return eng.Pool.CachedIndexFraction(table, ixPages)
+			}
+			return eng.Pool.CachedFraction(table, t.NumPages())
+		}
+	}
+	return b
+}
+
+// Trained reports whether the value model has been fit at least once.
+func (b *Bao) Trained() bool { return b.trained }
+
+// ExperienceSize returns the number of windowed experiences.
+func (b *Bao) ExperienceSize() int { return len(b.exp) }
+
+// Select plans the query under every arm, predicts each plan's
+// performance, and picks the arm with the best prediction (greedy under
+// the currently sampled model parameters — the Thompson sampling draw
+// happens at retrain time via the bootstrap). Before the first retrain the
+// default arm (the unhinted optimizer) is used, matching the paper's
+// conservative cold start.
+func (b *Bao) Select(sql string) (*Selection, error) {
+	q, err := b.Eng.AnalyzeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{SQL: sql, Query: q}
+	sel.Plans = make([]*planner.Node, len(b.Cfg.Arms))
+	sel.Candidates = make([]int, len(b.Cfg.Arms))
+	sel.Trees = make([]*nn.Tree, len(b.Cfg.Arms))
+	if b.Cfg.ParallelPlanning {
+		if err := b.planArmsParallel(q, sel); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, arm := range b.Cfg.Arms {
+			n, cands, err := b.Eng.Plan(q, arm.Hints)
+			if err != nil {
+				return nil, fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
+			}
+			sel.Plans[i] = n
+			sel.Candidates[i] = cands
+			sel.Trees[i] = b.Feat.Vectorize(n)
+		}
+	}
+	if b.trained {
+		sel.Preds = b.Model.Predict(sel.Trees)
+		candidates := b.selectableArms()
+		// Cost-sanity guard: drop arms whose plan the traditional optimizer
+		// prices two orders of magnitude above the cheapest arm. Bao
+		// second-guesses the cost model's *choices*, not its arithmetic —
+		// no mis-estimate plausibly hides a 10,000× cost ratio, so such
+		// plans are pure exploration downside.
+		minCost := sel.Plans[candidates[0]].EstCost
+		for _, i := range candidates {
+			if sel.Plans[i].EstCost < minCost {
+				minCost = sel.Plans[i].EstCost
+			}
+		}
+		sane := candidates[:0:0]
+		for _, i := range candidates {
+			if sel.Plans[i].EstCost <= minCost*100 {
+				sane = append(sane, i)
+			}
+		}
+		if len(sane) > 0 {
+			candidates = sane
+		}
+		best := candidates[0]
+		for _, i := range candidates {
+			if sel.Preds[i] < sel.Preds[best] {
+				best = i
+			}
+		}
+		// Exact ties happen when several plans look identical to the model
+		// (identical trees under different hints, or unexplored regions
+		// clamped to the same floor). Break them with the traditional
+		// optimizer's cost estimate — the "leverage the wisdom built into
+		// existing optimizers" principle: the model decides when it has
+		// signal, the cost model when it has none. The band is exact
+		// equality on purpose: any wider and the cost model would override
+		// the learned signal on the trap queries Bao exists to fix.
+		for _, i := range candidates {
+			if sel.Preds[i] == sel.Preds[best] && sel.Plans[i].EstCost < sel.Plans[best].EstCost {
+				best = i
+			}
+		}
+		sel.ArmID = best
+		sel.UsedModel = true
+	}
+	return sel, nil
+}
+
+// planArmsParallel plans every arm concurrently. Each goroutine gets its
+// own Optimizer (the schema and statistics it reads are immutable between
+// queries); the buffer-pool-backed cache features are read without
+// mutation, so featurization is safe too.
+func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(b.Cfg.Arms))
+	for i, arm := range b.Cfg.Arms {
+		wg.Add(1)
+		go func(i int, arm Arm) {
+			defer wg.Done()
+			opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
+				Sampling: b.Eng.Grade() == engine.GradeComSys}
+			n, err := opt.Plan(q, arm.Hints)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
+				return
+			}
+			sel.Plans[i] = n
+			sel.Candidates[i] = opt.LastCandidates
+			sel.Trees[i] = b.Feat.Vectorize(n)
+		}(i, arm)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectableArms returns the arm indices the bandit may pick right now:
+// the warm-up family while the model is young, every arm afterwards.
+func (b *Bao) selectableArms() []int {
+	if b.Cfg.ArmWarmup > 0 && b.trainCount < b.Cfg.ArmWarmup && len(b.warmupArms) > 0 {
+		return b.warmupArms
+	}
+	all := make([]int, len(b.Cfg.Arms))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Observe records the outcome of executing the selected plan and retrains
+// on schedule. A grossly mispredicted execution (observed an order of
+// magnitude over the prediction, and slow in absolute terms) triggers an
+// early retrain so a bad arm cannot be exploited for a whole window — the
+// "learns from its mistakes" loop of §3.2 at mistake granularity.
+func (b *Bao) Observe(sel *Selection, c executor.Counters) {
+	b.queriesSeen++
+	b.sinceTrain++
+	secs := b.Cfg.Metric.Value(c)
+	b.addExperience(Experience{
+		Tree:  sel.Trees[sel.ArmID],
+		Secs:  secs,
+		ArmID: sel.ArmID,
+		Key:   sel.SQL,
+	})
+	gross := sel.UsedModel && sel.Preds != nil &&
+		secs > 8*sel.Preds[sel.ArmID] && secs > 0.03 && b.sinceTrain >= 2
+	if (b.sinceTrain >= b.Cfg.RetrainEvery || gross) && len(b.exp) >= 16 {
+		b.Retrain()
+	}
+}
+
+// ObserveValue records an already-measured metric value for the selected
+// plan. Experiment harnesses that evaluate arms externally (e.g. regret
+// studies executing every arm cold) use it instead of Observe.
+func (b *Bao) ObserveValue(sel *Selection, secs float64) {
+	b.queriesSeen++
+	b.sinceTrain++
+	b.addExperience(Experience{
+		Tree:  sel.Trees[sel.ArmID],
+		Secs:  secs,
+		ArmID: sel.ArmID,
+		Key:   sel.SQL,
+	})
+	if b.sinceTrain >= b.Cfg.RetrainEvery && len(b.exp) >= 16 {
+		b.Retrain()
+	}
+}
+
+// AddExternalExperience records a plan executed outside Bao's control
+// (off-policy learning: advisor mode, DBA-tuned plans).
+func (b *Bao) AddExternalExperience(plan *planner.Node, c executor.Counters) {
+	b.addExperience(Experience{
+		Tree: b.Feat.Vectorize(plan),
+		Secs: b.Cfg.Metric.Value(c),
+	})
+	b.sinceTrain++
+	if b.sinceTrain >= b.Cfg.RetrainEvery && len(b.exp) >= 16 {
+		b.Retrain()
+	}
+}
+
+func (b *Bao) addExperience(e Experience) {
+	b.exp = append(b.exp, e)
+	if over := len(b.exp) - b.Cfg.WindowSize; over > 0 {
+		b.exp = b.exp[over:]
+	}
+}
+
+// Retrain performs one Thompson sampling draw: fit a fresh model on a
+// bootstrap (sample with replacement) of the experience window, always
+// including the flagged critical experiences, then fine-tune until every
+// critical query's fastest arm is ranked first (§4 "triggered
+// exploration").
+func (b *Bao) Retrain() {
+	b.sinceTrain = 0
+	if len(b.exp) == 0 && len(b.critical) == 0 {
+		return
+	}
+	trees := make([]*nn.Tree, 0, len(b.exp))
+	secs := make([]float64, 0, len(b.exp))
+	// Bootstrap sample (the Thompson draw) ...
+	bootN := len(b.exp) - recentKeep
+	if bootN < 0 {
+		bootN = 0
+	}
+	for i := 0; i < bootN; i++ {
+		e := b.exp[b.rng.Intn(len(b.exp))]
+		trees = append(trees, e.Tree)
+		secs = append(secs, e.Secs)
+	}
+	// ... plus the most recent experiences verbatim, so a fresh
+	// catastrophic observation can never be dropped by the resampling and
+	// the mistake is guaranteed to inform the next model.
+	tail := len(b.exp) - recentKeep
+	if tail < 0 {
+		tail = 0
+	}
+	for _, e := range b.exp[tail:] {
+		trees = append(trees, e.Tree)
+		secs = append(secs, e.Secs)
+	}
+
+	for _, exps := range b.critical {
+		for _, e := range exps {
+			trees = append(trees, e.Tree)
+			secs = append(secs, e.Secs)
+		}
+	}
+	start := time.Now()
+	epochs := b.Model.Fit(trees, secs)
+	epochs += b.enforceCritical(trees, secs)
+	wall := time.Since(start).Seconds()
+	b.trained = true
+	b.trainCount++
+	b.TrainEvents = append(b.TrainEvents, TrainEvent{
+		AtQuery:       b.queriesSeen,
+		Samples:       len(trees),
+		Epochs:        epochs,
+		WallSeconds:   wall,
+		SimGPUSeconds: cloud.GPUTrainSeconds(len(trees), maxInt(epochs, 1)),
+	})
+}
+
+// enforceCritical refits with exponentially growing weight on mispredicted
+// critical experiences until the model selects the truly fastest arm for
+// every critical query (bounded rounds). Returns extra epochs used.
+func (b *Bao) enforceCritical(baseTrees []*nn.Tree, baseSecs []float64) int {
+	if len(b.critical) == 0 {
+		return 0
+	}
+	extra := 0
+	weight := 1
+	for round := 0; round < 5; round++ {
+		bad := b.mispredictedCritical()
+		if len(bad) == 0 {
+			return extra
+		}
+		weight *= 2
+		trees := append([]*nn.Tree{}, baseTrees...)
+		secs := append([]float64{}, baseSecs...)
+		for _, key := range bad {
+			for _, e := range b.critical[key] {
+				for w := 0; w < weight; w++ {
+					trees = append(trees, e.Tree)
+					secs = append(secs, e.Secs)
+				}
+			}
+		}
+		extra += b.Model.Fit(trees, secs)
+	}
+	return extra
+}
+
+// mispredictedCritical returns the keys of critical queries for which the
+// model's chosen arm is materially slower than the observed-fastest arm.
+// (Several arms often yield the same physical plan — and therefore the
+// same prediction — so exact argmin agreement is too strict; what matters
+// is that the selected plan performs like the best one.)
+func (b *Bao) mispredictedCritical() []string {
+	var bad []string
+	for key, exps := range b.critical {
+		if len(exps) < 2 {
+			continue
+		}
+		trees := make([]*nn.Tree, len(exps))
+		bestObs := 0
+		for i, e := range exps {
+			trees[i] = e.Tree
+			if e.Secs < exps[bestObs].Secs {
+				bestObs = i
+			}
+		}
+		preds := b.Model.Predict(trees)
+		bestPred := 0
+		for i, p := range preds {
+			if p < preds[bestPred] {
+				bestPred = i
+			}
+		}
+		if exps[bestPred].Secs > 1.2*exps[bestObs].Secs+1e-3 {
+			bad = append(bad, key)
+		}
+	}
+	return bad
+}
+
+// SaveModel persists the trained value model so a deployment can restart
+// without relearning (pair with LoadModel). Only the model is saved; the
+// experience window is rebuilt from live traffic.
+func (b *Bao) SaveModel(w io.Writer) error {
+	tm, ok := b.Model.(*model.TCNNModel)
+	if !ok {
+		return fmt.Errorf("core: only the TCNN model supports persistence (have %s)", b.Model.Name())
+	}
+	return tm.Save(w)
+}
+
+// LoadModel restores a value model saved with SaveModel and marks Bao as
+// trained, so arm selection starts immediately.
+func (b *Bao) LoadModel(r io.Reader) error {
+	tm, ok := b.Model.(*model.TCNNModel)
+	if !ok {
+		return fmt.Errorf("core: only the TCNN model supports persistence (have %s)", b.Model.Name())
+	}
+	if err := tm.Load(r); err != nil {
+		return err
+	}
+	b.trained = true
+	b.trainCount = maxInt(b.trainCount, b.Cfg.ArmWarmup)
+	return nil
+}
+
+// MarkCritical registers a query for triggered exploration.
+func (b *Bao) MarkCritical(sql string) { b.markedCrit[sql] = sql }
+
+// ExploreCritical executes every marked query under every arm, storing the
+// flagged experiences that Retrain will always honor. It returns the total
+// counters spent, so callers can bill the exploration.
+func (b *Bao) ExploreCritical() (executor.Counters, error) {
+	var total executor.Counters
+	for key, sql := range b.markedCrit {
+		q, err := b.Eng.AnalyzeSQL(sql)
+		if err != nil {
+			return total, err
+		}
+		var exps []Experience
+		for _, arm := range b.Cfg.Arms {
+			n, _, err := b.Eng.Plan(q, arm.Hints)
+			if err != nil {
+				return total, err
+			}
+			tree := b.Feat.Vectorize(n)
+			res, err := b.Eng.Execute(n)
+			if err != nil {
+				return total, err
+			}
+			total.Add(res.Counters)
+			exps = append(exps, Experience{
+				Tree: tree, Secs: b.Cfg.Metric.Value(res.Counters),
+				ArmID: arm.ID, Key: key, Critical: true,
+			})
+		}
+		b.critical[key] = exps
+	}
+	return total, nil
+}
+
+// Run is the full per-query lifecycle: select (or fall back to the default
+// optimizer when disabled), execute, observe. It returns the engine result
+// and the selection made.
+func (b *Bao) Run(sql string) (*engine.Result, *Selection, error) {
+	if !b.Enabled || b.AdvisorMode {
+		// Default optimizer path; advisor mode still learns off-policy.
+		q, err := b.Eng.AnalyzeSQL(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, cands, err := b.Eng.Plan(q, planner.AllOn())
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := b.Eng.Execute(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.PlanCandidates = cands
+		if b.AdvisorMode {
+			b.AddExternalExperience(n, res.Counters)
+		}
+		return res, nil, nil
+	}
+	sel, err := b.Select(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := b.Eng.Execute(sel.Plans[sel.ArmID])
+	if err != nil {
+		return nil, nil, err
+	}
+	b.Observe(sel, res.Counters)
+	return res, sel, nil
+}
+
+// Advice is advisor-mode EXPLAIN enrichment (Figure 6).
+type Advice struct {
+	DefaultPredSecs float64
+	BestArm         Arm
+	BestPredSecs    float64
+	ImprovementSecs float64
+}
+
+// Advise predicts the default plan's performance and the best hint set for
+// a query without executing anything.
+func (b *Bao) Advise(sql string) (*Advice, *planner.Node, error) {
+	sel, err := b.Select(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !b.trained {
+		return nil, sel.Plans[0], fmt.Errorf("core: advisor needs a trained model (no experience yet)")
+	}
+	best := 0
+	for i, p := range sel.Preds {
+		if p < sel.Preds[best] {
+			best = i
+		}
+	}
+	a := &Advice{
+		DefaultPredSecs: sel.Preds[0],
+		BestArm:         b.Cfg.Arms[best],
+		BestPredSecs:    sel.Preds[best],
+		ImprovementSecs: sel.Preds[0] - sel.Preds[best],
+	}
+	return a, sel.Plans[0], nil
+}
+
+// ExplainWithAdvice renders the Figure 6 advisor-mode EXPLAIN output.
+func (b *Bao) ExplainWithAdvice(sql string) (string, error) {
+	a, defPlan, err := b.Advise(sql)
+	if err != nil {
+		return "", err
+	}
+	head := fmt.Sprintf("Bao prediction: %.3f ms\nBao recommended hint: %s\n    (estimated %.3f ms improvement)\n",
+		a.DefaultPredSecs*1000, a.BestArm.Hints.SQL(), a.ImprovementSecs*1000)
+	return head + b.Eng.Explain(defPlan), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

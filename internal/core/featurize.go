@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+
+	"bao/internal/nn"
+	"bao/internal/planner"
+)
+
+// FeatureDim is the per-node feature vector width: a one-hot over the
+// physical operators plus the synthetic "null" padding type, followed by
+// the optimizer's cardinality and cost estimates (log-scaled) and the
+// optional buffer-cache fraction for scan nodes (§3.1.1).
+const FeatureDim = int(planner.NumOps) + 1 + 3
+
+// nullTypeIndex is the one-hot slot for binarization padding nodes.
+const nullTypeIndex = int(planner.NumOps)
+
+// Featurizer converts physical plans into the vector trees Bao's value
+// model consumes. CacheFrac, when non-nil, supplies the fraction of a
+// table's pages resident in the buffer pool (cache-aware Bao, §3.1.1);
+// indexOnly selects index-page rather than heap-page residency, since an
+// index-only scan never touches the heap. Leave CacheFrac nil to reproduce
+// the cache-oblivious variant.
+type Featurizer struct {
+	CacheFrac func(table string, indexOnly bool) float64
+}
+
+// Vectorize binarizes the plan tree and encodes each node.
+func (f *Featurizer) Vectorize(root *planner.Node) *nn.Tree {
+	// First pass: count nodes after binarization. Binarization gives every
+	// one-child node a null right sibling; zero- and two-child nodes are
+	// unchanged.
+	n := 0
+	var count func(p *planner.Node)
+	count = func(p *planner.Node) {
+		if p == nil {
+			return
+		}
+		n++
+		if (p.Left != nil) != (p.Right != nil) {
+			n++ // null padding sibling
+		}
+		count(p.Left)
+		count(p.Right)
+	}
+	count(root)
+
+	t := nn.NewTree(n, FeatureDim)
+	next := 0
+	var build func(p *planner.Node) int
+	build = func(p *planner.Node) int {
+		id := next
+		next++
+		f.encode(t, id, p)
+		l, r := p.Left, p.Right
+		if l == nil && r != nil {
+			l, r = r, nil // normalize single child to the left
+		}
+		if l != nil {
+			t.Left[id] = build(l)
+			if r != nil {
+				t.Right[id] = build(r)
+			} else {
+				// Null padding node.
+				nid := next
+				next++
+				t.Feat[nid*FeatureDim+nullTypeIndex] = 1
+				t.Right[id] = nid
+			}
+		}
+		return id
+	}
+	build(root)
+	return t
+}
+
+// encode writes one plan node's feature vector.
+func (f *Featurizer) encode(t *nn.Tree, id int, p *planner.Node) {
+	row := t.Feat[id*FeatureDim : (id+1)*FeatureDim]
+	row[int(p.Op)] = 1
+	base := int(planner.NumOps) + 1
+	// Log-scaled cardinality and cost estimates, normalized to roughly
+	// [0, 1] over the plausible range (1 .. 1e8).
+	row[base] = math.Log1p(math.Max(p.EstRows, 0)) / math.Log(1e8)
+	row[base+1] = math.Log1p(math.Max(p.EstCost, 0)) / math.Log(1e8)
+	if f.CacheFrac != nil && p.IsScan() {
+		row[base+2] = f.CacheFrac(p.Table, p.Op == planner.OpIndexOnlyScan)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "bao/internal/executor"
+
+// executorCounters builds a counter set for metric tests.
+func executorCounters(cpu, misses, rand int64) executor.Counters {
+	return executor.Counters{CPUOps: cpu, PageMisses: misses, RandReads: rand}
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"bao/internal/catalog"
+	"bao/internal/planner"
+	"bao/internal/sqlparser"
+	"bao/internal/storage"
+)
+
+// ExecSQL executes any supported SQL statement. For SELECTs it returns the
+// result; for DDL/DML it returns a nil result and a psql-style status tag
+// ("CREATE TABLE", "INSERT 3", ...). EXPLAIN returns the rendered plan as
+// the tag, with EXPLAIN ANALYZE executing the query to annotate actual
+// cardinalities.
+func (e *Engine) ExecSQL(sql string) (*Result, string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, "", err
+	}
+	switch st := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		res, err := e.Query(st.String())
+		if err != nil {
+			return nil, "", err
+		}
+		return res, fmt.Sprintf("SELECT %d", len(res.Rows)), nil
+
+	case *sqlparser.ExplainStmt:
+		q, err := e.AnalyzeSQL(st.Query.String())
+		if err != nil {
+			return nil, "", err
+		}
+		n, _, err := e.Plan(q, e.SessionHints)
+		if err != nil {
+			return nil, "", err
+		}
+		if !st.Analyze {
+			return nil, e.Explain(n), nil
+		}
+		out, err := e.ExplainAnalyze(n)
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, out, nil
+
+	case *sqlparser.SetStmt:
+		if err := e.SetVar(st.Name, st.Value); err != nil {
+			return nil, "", err
+		}
+		return nil, "SET", nil
+
+	case *sqlparser.CreateTableStmt:
+		if _, exists := e.Schema.Table(st.Name); exists {
+			return nil, "", fmt.Errorf("engine: table %q already exists", st.Name)
+		}
+		cols := make([]catalog.Column, len(st.Cols))
+		for i, c := range st.Cols {
+			t := catalog.Int
+			if c.Type == "text" {
+				t = catalog.Str
+			}
+			cols[i] = catalog.Column{Name: c.Name, Type: t}
+		}
+		meta, err := catalog.NewTable(st.Name, cols...)
+		if err != nil {
+			return nil, "", err
+		}
+		e.CreateTable(meta)
+		e.AnalyzeTable(st.Name) // empty-table statistics keep the planner usable
+		return nil, "CREATE TABLE", nil
+
+	case *sqlparser.CreateIndexStmt:
+		ix := catalog.Index{Name: st.Name, Table: st.Table, Column: st.Column, Unique: st.Unique}
+		if err := e.CreateIndex(ix); err != nil {
+			return nil, "", err
+		}
+		return nil, "CREATE INDEX", nil
+
+	case *sqlparser.InsertStmt:
+		meta, ok := e.Schema.Table(st.Table)
+		if !ok {
+			return nil, "", fmt.Errorf("engine: unknown table %q", st.Table)
+		}
+		rows := make([]storage.Row, 0, len(st.Rows))
+		for ri, lits := range st.Rows {
+			if len(lits) != len(meta.Columns) {
+				return nil, "", fmt.Errorf("engine: INSERT row %d has %d values, table %s has %d columns",
+					ri+1, len(lits), st.Table, len(meta.Columns))
+			}
+			row := make(storage.Row, len(lits))
+			for ci, l := range lits {
+				switch {
+				case l.Null:
+					row[ci] = storage.NullVal(meta.Columns[ci].Type)
+				case l.IsStr:
+					if meta.Columns[ci].Type != catalog.Str {
+						return nil, "", fmt.Errorf("engine: INSERT row %d: string into %v column %s",
+							ri+1, meta.Columns[ci].Type, meta.Columns[ci].Name)
+					}
+					row[ci] = storage.StrVal(l.Str)
+				default:
+					if meta.Columns[ci].Type != catalog.Int {
+						return nil, "", fmt.Errorf("engine: INSERT row %d: integer into %v column %s",
+							ri+1, meta.Columns[ci].Type, meta.Columns[ci].Name)
+					}
+					row[ci] = storage.IntVal(l.Int)
+				}
+			}
+			rows = append(rows, row)
+		}
+		if err := e.Insert(st.Table, rows); err != nil {
+			return nil, "", err
+		}
+		if err := e.RebuildIndexes(st.Table); err != nil {
+			return nil, "", err
+		}
+		return nil, fmt.Sprintf("INSERT %d", len(rows)), nil
+
+	case *sqlparser.DropTableStmt:
+		if _, ok := e.Schema.Table(st.Name); !ok {
+			return nil, "", fmt.Errorf("engine: unknown table %q", st.Name)
+		}
+		e.DropTable(st.Name)
+		return nil, "DROP TABLE", nil
+
+	case *sqlparser.AnalyzeStmt:
+		if st.Table != "" {
+			if _, ok := e.Schema.Table(st.Table); !ok {
+				return nil, "", fmt.Errorf("engine: unknown table %q", st.Table)
+			}
+			e.AnalyzeTable(st.Table)
+		} else {
+			e.Analyze()
+		}
+		return nil, "ANALYZE", nil
+
+	default:
+		return nil, "", fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// ExplainAnalyze executes the plan, recording each node's actual output
+// cardinality, and renders the plan annotated with estimated-vs-actual
+// rows — the interpretability tool §4 highlights.
+func (e *Engine) ExplainAnalyze(n *planner.Node) (string, error) {
+	e.Exec.Trace = make(map[*planner.Node]int64)
+	defer func() { e.Exec.Trace = nil }()
+	res, err := e.Execute(n)
+	if err != nil {
+		return "", err
+	}
+	trace := e.Exec.Trace
+	base := e.Explain(n)
+	// Annotate: re-render with actual rows appended per line, walking in
+	// the same pre-order as Explain.
+	var order []*planner.Node
+	n.Walk(func(x *planner.Node) { order = append(order, x) })
+	lines := strings.Split(base, "\n")
+	oi := 0
+	for li, line := range lines {
+		if !strings.Contains(line, "(cost=") {
+			continue
+		}
+		if oi < len(order) {
+			lines[li] = line + fmt.Sprintf(" (actual rows=%d)", trace[order[oi]])
+			oi++
+		}
+	}
+	lines = append(lines, fmt.Sprintf("Execution counters: cpu_ops=%d page_hits=%d page_misses=%d",
+		res.Counters.CPUOps, res.Counters.PageHits, res.Counters.PageMisses))
+	return strings.Join(lines, "\n"), nil
+}

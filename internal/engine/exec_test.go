@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// execTag runs a statement and asserts its status tag.
+func execTag(t *testing.T, e *Engine, sql, wantTag string) *Result {
+	t.Helper()
+	res, tag, err := e.ExecSQL(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if wantTag != "" && tag != wantTag {
+		t.Fatalf("%s: tag %q, want %q", sql, tag, wantTag)
+	}
+	return res
+}
+
+func TestExecSQLLifecycle(t *testing.T) {
+	e := New(GradePostgreSQL, 256)
+	execTag(t, e, "CREATE TABLE users (id INT, name TEXT, age INT)", "CREATE TABLE")
+	execTag(t, e, "CREATE UNIQUE INDEX ix_users_id ON users (id)", "CREATE INDEX")
+	execTag(t, e, "INSERT INTO users VALUES (1, 'ada', 36), (2, 'alan', 41), (3, NULL, 30)", "INSERT 3")
+	execTag(t, e, "ANALYZE users", "ANALYZE")
+
+	res := execTag(t, e, "SELECT name FROM users WHERE id = 2", "SELECT 1")
+	if res.Rows[0][0].S != "alan" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = execTag(t, e, "SELECT COUNT(*) FROM users", "SELECT 1")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+
+	// NULL round trip.
+	res = execTag(t, e, "SELECT name FROM users WHERE id = 3", "")
+	if !res.Rows[0][0].Null {
+		t.Fatalf("NULL lost: %v", res.Rows)
+	}
+
+	execTag(t, e, "SET enable_hashjoin TO off", "SET")
+	if e.SessionHints.HashJoin {
+		t.Fatal("SET through ExecSQL had no effect")
+	}
+
+	execTag(t, e, "DROP TABLE users", "DROP TABLE")
+	if _, _, err := e.ExecSQL("SELECT * FROM users"); err == nil {
+		t.Fatal("query after DROP succeeded")
+	}
+}
+
+func TestExecSQLErrors(t *testing.T) {
+	e := New(GradePostgreSQL, 256)
+	execTag(t, e, "CREATE TABLE t (a INT)", "CREATE TABLE")
+	bad := []string{
+		"CREATE TABLE t (a INT)",      // duplicate table
+		"CREATE TABLE u (a FLOAT)",    // unsupported type
+		"CREATE INDEX ix ON nope (a)", // unknown table
+		"CREATE INDEX ix ON t (nope)", // unknown column
+		"INSERT INTO nope VALUES (1)", // unknown table
+		"INSERT INTO t VALUES (1, 2)", // arity mismatch
+		"INSERT INTO t VALUES ('x')",  // type mismatch
+		"DROP TABLE nope",             // unknown table
+		"ANALYZE nope",                // unknown table
+		"TRUNCATE t",                  // unsupported statement
+	}
+	for _, sql := range bad {
+		if _, _, err := e.ExecSQL(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestExplicitJoinSyntax(t *testing.T) {
+	e := testEngine(t, GradePostgreSQL, 300, 1200, 21)
+	implicit, err := e.Query("SELECT COUNT(*) FROM movies m, ratings r WHERE m.id = r.movie_id AND m.year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := e.Query("SELECT COUNT(*) FROM movies m JOIN ratings r ON m.id = r.movie_id WHERE m.year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Rows[0][0].I != explicit.Rows[0][0].I {
+		t.Fatalf("JOIN syntax disagrees: %v vs %v", implicit.Rows[0][0], explicit.Rows[0][0])
+	}
+	// INNER JOIN spelling and ON-clause filters.
+	inner, err := e.Query("SELECT COUNT(*) FROM movies m INNER JOIN ratings r ON m.id = r.movie_id AND m.year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Rows[0][0].I != implicit.Rows[0][0].I {
+		t.Fatalf("INNER JOIN disagrees: %v", inner.Rows[0][0])
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	e := testEngine(t, GradePostgreSQL, 200, 800, 22)
+	_, tag, err := e.ExecSQL("EXPLAIN ANALYZE SELECT COUNT(*) FROM movies m, ratings r WHERE m.id = r.movie_id AND m.year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"actual rows=", "Execution counters:", "cost="} {
+		if !strings.Contains(tag, want) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", want, tag)
+		}
+	}
+	// Tracing must be off afterwards (no lingering overhead).
+	if e.Exec.Trace != nil {
+		t.Fatal("trace map left enabled")
+	}
+	// The actual row counts must reflect execution: the aggregate output
+	// is exactly 1 row.
+	if !strings.Contains(tag, "Aggregate") {
+		t.Fatalf("missing aggregate node:\n%s", tag)
+	}
+}
+
+func TestExplainWithoutAnalyzeDoesNotExecute(t *testing.T) {
+	e := testEngine(t, GradePostgreSQL, 200, 800, 23)
+	before := e.Pool.Stats()
+	_, tag, err := e.ExecSQL("EXPLAIN SELECT COUNT(*) FROM movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tag, "actual rows=") {
+		t.Fatal("plain EXPLAIN executed the query")
+	}
+	if e.Pool.Stats() != before {
+		t.Fatal("plain EXPLAIN touched pages")
+	}
+}
+
+func TestStringIndexStrictBounds(t *testing.T) {
+	e := New(GradePostgreSQL, 256)
+	execTag(t, e, "CREATE TABLE words (w TEXT)", "CREATE TABLE")
+	execTag(t, e, "CREATE INDEX ix_w ON words (w)", "CREATE INDEX")
+	execTag(t, e, "INSERT INTO words VALUES ('apple'), ('mango'), ('m'), ('zebra'), ('banana')", "INSERT 5")
+	execTag(t, e, "ANALYZE", "ANALYZE")
+	// Strict string bounds cannot be tightened arithmetically the way
+	// integer bounds are; the executor must re-check the boundary value.
+	res := execTag(t, e, "SELECT w FROM words WHERE w > 'm' ORDER BY w", "")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "mango" || res.Rows[1][0].S != "zebra" {
+		t.Fatalf("strict string range rows = %v", res.Rows)
+	}
+	res = execTag(t, e, "SELECT w FROM words WHERE w >= 'm' AND w < 'z' ORDER BY w", "")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "m" || res.Rows[1][0].S != "mango" {
+		t.Fatalf("half-open string range rows = %v", res.Rows)
+	}
+}
+
+func TestForcedIndexScanOnStrings(t *testing.T) {
+	e := New(GradePostgreSQL, 256)
+	execTag(t, e, "CREATE TABLE words (w TEXT, n INT)", "CREATE TABLE")
+	execTag(t, e, "CREATE INDEX ix_w ON words (w)", "CREATE INDEX")
+	for i := 0; i < 30; i++ {
+		execTag(t, e, fmt.Sprintf("INSERT INTO words VALUES ('w%02d', %d)", i, i), "INSERT 1")
+	}
+	execTag(t, e, "ANALYZE", "ANALYZE")
+	execTag(t, e, "SET enable_seqscan TO off", "SET")
+	res := execTag(t, e, "SELECT n FROM words WHERE w = 'w07'", "")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Fatalf("forced string index lookup = %v", res.Rows)
+	}
+}

@@ -1,0 +1,242 @@
+package executor
+
+import (
+	"testing"
+
+	"bao/internal/bufferpool"
+	"bao/internal/catalog"
+	"bao/internal/planner"
+	"bao/internal/sqlparser"
+	"bao/internal/storage"
+)
+
+// fixture wires storage, a pool, and an executor with hand-built plans.
+type fixture struct {
+	db   *storage.Database
+	pool *bufferpool.Pool
+	ex   *Executor
+}
+
+func newFixture(poolPages int) *fixture {
+	db := storage.NewDatabase()
+	pool := bufferpool.New(poolPages)
+	return &fixture{db: db, pool: pool, ex: New(db, pool)}
+}
+
+func (f *fixture) addTable(meta *catalog.Table, rows []storage.Row) *storage.Table {
+	t := storage.NewTable(meta)
+	for _, r := range rows {
+		if err := t.AppendRow(r); err != nil {
+			panic(err)
+		}
+	}
+	f.db.AddTable(t)
+	return t
+}
+
+func intRows(vals ...int64) []storage.Row {
+	out := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		out[i] = storage.Row{storage.IntVal(v)}
+	}
+	return out
+}
+
+func scanNode(table, col string, filters ...planner.Filter) *planner.Node {
+	return &planner.Node{Op: planner.OpSeqScan, Table: table, Alias: table,
+		Filters:  filters,
+		Cols:     []planner.OutCol{{Alias: table, Name: col, Type: catalog.Int}},
+		SortedBy: -1}
+}
+
+func TestSeqScanFilters(t *testing.T) {
+	f := newFixture(64)
+	f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}),
+		intRows(1, 2, 3, 4, 5))
+	lo := planner.Bound{V: storage.IntVal(2), Incl: true}
+	hi := planner.Bound{V: storage.IntVal(4), Incl: false}
+	n := scanNode("t", "a", planner.Filter{Col: "a", Kind: planner.FRange, Lo: &lo, Hi: &hi})
+	rows, err := f.ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].I != 2 || rows[1][0].I != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if f.ex.C.CPUOps == 0 || f.ex.C.PageMisses == 0 {
+		t.Fatalf("counters not charged: %+v", f.ex.C)
+	}
+}
+
+func TestParameterizedScanOutsideNLFails(t *testing.T) {
+	f := newFixture(64)
+	f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}), intRows(1))
+	n := scanNode("t", "a")
+	n.Op = planner.OpIndexScan
+	n.Param = true
+	if _, err := f.ex.Run(n); err == nil {
+		t.Fatal("parameterized scan should fail outside a nested loop")
+	}
+}
+
+// joinFixture builds two one-column tables and a join node of the given op.
+func joinFixture(t *testing.T, op planner.Op, left, right []int64) (*fixture, *planner.Node) {
+	t.Helper()
+	f := newFixture(256)
+	f.addTable(catalog.MustTable("l", catalog.Column{Name: "a", Type: catalog.Int}), intRows(left...))
+	f.addTable(catalog.MustTable("r", catalog.Column{Name: "b", Type: catalog.Int}), intRows(right...))
+	ln, rn := scanNode("l", "a"), scanNode("r", "b")
+	if op == planner.OpMergeJoin {
+		ls := &planner.Node{Op: planner.OpSort, Left: ln, SortCols: []int{0}, SortDesc: []bool{false}, Cols: ln.Cols, SortedBy: 0}
+		rs := &planner.Node{Op: planner.OpSort, Left: rn, SortCols: []int{0}, SortDesc: []bool{false}, Cols: rn.Cols, SortedBy: 0}
+		ln, rn = ls, rs
+	}
+	jn := &planner.Node{Op: op, Left: ln, Right: rn,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		Cols:     append(append([]planner.OutCol{}, ln.Cols...), rn.Cols...),
+		SortedBy: -1}
+	return f, jn
+}
+
+func TestJoinOperatorsAgree(t *testing.T) {
+	left := []int64{1, 2, 2, 3, 5}
+	right := []int64{2, 2, 3, 4}
+	want := 5 // 2x2 matches for key 2, 1 for key 3
+	for _, op := range []planner.Op{planner.OpHashJoin, planner.OpMergeJoin, planner.OpNestLoop} {
+		f, jn := joinFixture(t, op, left, right)
+		rows, err := f.ex.Run(jn)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if len(rows) != want {
+			t.Fatalf("%s: %d rows, want %d", op, len(rows), want)
+		}
+		for _, r := range rows {
+			if r[0].I != r[1].I {
+				t.Fatalf("%s: joined row %v keys differ", op, r)
+			}
+		}
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	for _, op := range []planner.Op{planner.OpHashJoin, planner.OpMergeJoin, planner.OpNestLoop} {
+		f := newFixture(256)
+		lt := storage.NewTable(catalog.MustTable("l", catalog.Column{Name: "a", Type: catalog.Int}))
+		lt.AppendRow(storage.Row{storage.NullVal(catalog.Int)})
+		lt.AppendRow(storage.Row{storage.IntVal(1)})
+		f.db.AddTable(lt)
+		rt := storage.NewTable(catalog.MustTable("r", catalog.Column{Name: "b", Type: catalog.Int}))
+		rt.AppendRow(storage.Row{storage.NullVal(catalog.Int)})
+		rt.AppendRow(storage.Row{storage.IntVal(1)})
+		f.db.AddTable(rt)
+		ln, rn := scanNode("l", "a"), scanNode("r", "b")
+		if op == planner.OpMergeJoin {
+			ln = &planner.Node{Op: planner.OpSort, Left: ln, SortCols: []int{0}, SortDesc: []bool{false}, Cols: ln.Cols, SortedBy: 0}
+			rn = &planner.Node{Op: planner.OpSort, Left: rn, SortCols: []int{0}, SortDesc: []bool{false}, Cols: rn.Cols, SortedBy: 0}
+		}
+		jn := &planner.Node{Op: op, Left: ln, Right: rn, LeftKeys: []int{0}, RightKeys: []int{0},
+			Cols: append(append([]planner.OutCol{}, ln.Cols...), rn.Cols...), SortedBy: -1}
+		rows, err := f.ex.Run(jn)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("%s: NULL keys matched: %v", op, rows)
+		}
+	}
+}
+
+func TestNestLoopChargesQuadratic(t *testing.T) {
+	big := make([]int64, 500)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	f, jn := joinFixture(t, planner.OpNestLoop, big, big)
+	if _, err := f.ex.Run(jn); err != nil {
+		t.Fatal(err)
+	}
+	if f.ex.C.CPUOps < 500*500 {
+		t.Fatalf("NL charged %d ops, want ≥ %d", f.ex.C.CPUOps, 500*500)
+	}
+	// Hash join on the same data must charge far less.
+	f2, jn2 := joinFixture(t, planner.OpHashJoin, big, big)
+	if _, err := f2.ex.Run(jn2); err != nil {
+		t.Fatal(err)
+	}
+	if f2.ex.C.CPUOps*10 > f.ex.C.CPUOps {
+		t.Fatalf("hash %d vs NL %d: NL not billed quadratically", f2.ex.C.CPUOps, f.ex.C.CPUOps)
+	}
+}
+
+func TestSortDescAndStability(t *testing.T) {
+	f := newFixture(64)
+	f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}),
+		intRows(3, 1, 2, 1))
+	n := &planner.Node{Op: planner.OpSort, Left: scanNode("t", "a"),
+		SortCols: []int{0}, SortDesc: []bool{true},
+		Cols: []planner.OutCol{{Alias: "t", Name: "a", Type: catalog.Int}}, SortedBy: -1}
+	rows, err := f.ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 2, 1, 1}
+	for i, w := range want {
+		if rows[i][0].I != w {
+			t.Fatalf("sorted rows = %v", rows)
+		}
+	}
+}
+
+func TestLimitTruncates(t *testing.T) {
+	f := newFixture(64)
+	f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}),
+		intRows(1, 2, 3))
+	n := &planner.Node{Op: planner.OpLimit, N: 2, Left: scanNode("t", "a"),
+		Cols: []planner.OutCol{{Alias: "t", Name: "a", Type: catalog.Int}}, SortedBy: -1}
+	rows, err := f.ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("limit rows = %v", rows)
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	f := newFixture(64)
+	tbl := storage.NewTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}))
+	tbl.AppendRow(storage.Row{storage.IntVal(5)})
+	tbl.AppendRow(storage.Row{storage.NullVal(catalog.Int)})
+	tbl.AppendRow(storage.Row{storage.IntVal(7)})
+	f.db.AddTable(tbl)
+	n := &planner.Node{Op: planner.OpAggregate, Left: scanNode("t", "a"),
+		Aggs: []planner.AggSpec{
+			{Func: sqlparser.AggCount, Col: -1},
+			{Func: sqlparser.AggCount, Col: 0},
+			{Func: sqlparser.AggSum, Col: 0},
+			{Func: sqlparser.AggAvg, Col: 0},
+			{Func: sqlparser.AggMin, Col: 0},
+			{Func: sqlparser.AggMax, Col: 0},
+		},
+		Cols: make([]planner.OutCol, 6), SortedBy: -1}
+	rows, err := f.ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// COUNT(*)=3, COUNT(a)=2 (NULLs skipped), SUM=12, AVG=6, MIN=5, MAX=7.
+	want := []int64{3, 2, 12, 6, 5, 7}
+	for i, w := range want {
+		if r[i].Null || r[i].I != w {
+			t.Fatalf("agg %d = %v, want %d (row %v)", i, r[i], w, r)
+		}
+	}
+}
+
+func TestMissingTableError(t *testing.T) {
+	f := newFixture(64)
+	if _, err := f.ex.Run(scanNode("nope", "a")); err == nil {
+		t.Fatal("scan of missing table succeeded")
+	}
+}

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+)
+
+// Characterize reproduces the §6.1 workload characterization: median and
+// tail latency under the native optimizer, and the "Pareto principle"
+// share — what fraction of total execution time the slowest 20% of queries
+// account for (the paper reports ≈80% across all three datasets).
+func (s *Session) Characterize() error {
+	header(s.Opts.Out, "§6.1: workload characterization (native optimizer, N1-16)")
+	var rows [][]string
+	for _, wl := range []string{"IMDb", "Stack", "Corp"} {
+		r, err := s.Run(wl, cloud.N1_16, engine.GradePostgreSQL, SysNative)
+		if err != nil {
+			return err
+		}
+		lat := r.ExecSeconds()
+		total := sum(lat)
+		sorted := append([]float64(nil), lat...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		top20 := 0.0
+		for i := 0; i < len(sorted)/5; i++ {
+			top20 += sorted[i]
+		}
+		rows = append(rows, []string{
+			wl,
+			fmtSecs(percentile(lat, 50)),
+			fmtSecs(percentile(lat, 95)),
+			fmt.Sprintf("%.0f%%", top20/total*100),
+		})
+	}
+	table(s.Opts.Out, []string{"Workload", "MedianLatency", "p95Latency", "Top20%QueriesShareOfTime"}, rows)
+	fmt.Fprintln(s.Opts.Out, "(paper: medians 280ms–520ms, p95 21s–3m, ~80% of time in ~20% of queries)")
+	return nil
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+)
+
+// Table1 prints the evaluation datasets: size, query count, and dynamics
+// (paper Table 1), plus the synthetic scale actually generated.
+func (s *Session) Table1() error {
+	header(s.Opts.Out, "Table 1: evaluation datasets")
+	dyn := func(b bool) string {
+		if b {
+			return "Dynamic"
+		}
+		return "Static"
+	}
+	var rows [][]string
+	for _, name := range []string{"IMDb", "Stack", "Corp"} {
+		inst, err := s.Instance(name)
+		if err != nil {
+			return err
+		}
+		sp := inst.Spec
+		rows = append(rows, []string{
+			sp.Name,
+			fmt.Sprintf("%.1f GB", sp.NominalSizeGB),
+			fmt.Sprintf("%d", sp.QueryCount),
+			dyn(sp.DynamicWL), dyn(sp.DynamicData), dyn(sp.DynamicSchema),
+		})
+	}
+	table(s.Opts.Out, []string{"Dataset", "Size(paper)", "Queries", "WL", "Data", "Schema"}, rows)
+	fmt.Fprintf(s.Opts.Out, "(synthetic data scaled by %.2f; see DESIGN.md §2)\n", s.Opts.Scale)
+	return nil
+}
+
+// Figure7 reproduces Figure 7: total workload cost and latency across the
+// three datasets, Bao versus the native optimizer, on both the
+// PostgreSQL-grade and ComSys-grade engines (N1-16).
+func (s *Session) Figure7() error {
+	header(s.Opts.Out, "Figure 7: cost and workload latency, Bao vs native optimizer (N1-16)")
+	var rows [][]string
+	for _, grade := range []engine.Grade{engine.GradePostgreSQL, engine.GradeComSys} {
+		for _, wl := range []string{"IMDb", "Stack", "Corp"} {
+			nat, err := s.Run(wl, cloud.N1_16, grade, SysNative)
+			if err != nil {
+				return err
+			}
+			bao, err := s.Run(wl, cloud.N1_16, grade, SysBao)
+			if err != nil {
+				return err
+			}
+			natCost := nat.Bill.Cost(cloud.N1_16)
+			baoCost := bao.Bill.Cost(cloud.N1_16)
+			rows = append(rows, []string{
+				grade.String(), wl,
+				fmt.Sprintf("$%.4f", natCost), fmtSecs(nat.TotalSeconds()),
+				fmt.Sprintf("$%.4f", baoCost), fmtSecs(bao.TotalSeconds()),
+				fmt.Sprintf("%+.0f%%", (bao.TotalSeconds()/nat.TotalSeconds()-1)*100),
+			})
+		}
+	}
+	table(s.Opts.Out,
+		[]string{"Engine", "Workload", "NativeCost", "NativeTime", "BaoCost", "BaoTime", "ΔTime"},
+		rows)
+	fmt.Fprintln(s.Opts.Out, "(Bao cost includes simulated detachable-GPU training; negative ΔTime = Bao faster)")
+	return nil
+}
+
+// vmSweep runs the IMDb workload across the four VM types for both
+// systems on the given grade; Figures 8, 9, and 10 all read it.
+func (s *Session) vmSweep(grade engine.Grade) (nat, bao map[string]*RunResult, err error) {
+	nat = make(map[string]*RunResult)
+	bao = make(map[string]*RunResult)
+	for _, vm := range cloud.AllVMs() {
+		if nat[vm.Name], err = s.Run("IMDb", vm, grade, SysNative); err != nil {
+			return nil, nil, err
+		}
+		if bao[vm.Name], err = s.Run("IMDb", vm, grade, SysBao); err != nil {
+			return nil, nil, err
+		}
+	}
+	return nat, bao, nil
+}
+
+// Figure8 reproduces Figure 8: IMDb cost and latency across VM types.
+func (s *Session) Figure8() error {
+	header(s.Opts.Out, "Figure 8: IMDb cost and latency across VM types")
+	for _, grade := range []engine.Grade{engine.GradePostgreSQL, engine.GradeComSys} {
+		nat, bao, err := s.vmSweep(grade)
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, vm := range cloud.AllVMs() {
+			n, b := nat[vm.Name], bao[vm.Name]
+			rows = append(rows, []string{
+				grade.String(), vm.Name,
+				fmt.Sprintf("$%.4f", n.Bill.Cost(vm)), fmtSecs(n.TotalSeconds()),
+				fmt.Sprintf("$%.4f", b.Bill.Cost(vm)), fmtSecs(b.TotalSeconds()),
+				fmt.Sprintf("%+.0f%%", (b.TotalSeconds()/n.TotalSeconds()-1)*100),
+			})
+		}
+		table(s.Opts.Out,
+			[]string{"Engine", "VM", "NativeCost", "NativeTime", "BaoCost", "BaoTime", "ΔTime"},
+			rows)
+	}
+	return nil
+}
+
+// Figure9 reproduces Figure 9: percentile query latencies per VM type for
+// both engines.
+func (s *Session) Figure9() error {
+	header(s.Opts.Out, "Figure 9: percentile latencies per VM type (IMDb)")
+	for _, grade := range []engine.Grade{engine.GradePostgreSQL, engine.GradeComSys} {
+		nat, bao, err := s.vmSweep(grade)
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, vm := range cloud.AllVMs() {
+			for _, sysRun := range []struct {
+				name string
+				r    *RunResult
+			}{{"native", nat[vm.Name]}, {"Bao", bao[vm.Name]}} {
+				lat := sysRun.r.ExecSeconds()
+				rows = append(rows, []string{
+					grade.String(), vm.Name, sysRun.name,
+					fmtSecs(percentile(lat, 50)), fmtSecs(percentile(lat, 95)),
+					fmtSecs(percentile(lat, 99)), fmtSecs(percentile(lat, 99.5)),
+				})
+			}
+		}
+		table(s.Opts.Out,
+			[]string{"Engine", "VM", "System", "p50", "p95", "p99", "p99.5"}, rows)
+	}
+	return nil
+}
+
+// Figure10 reproduces Figure 10: queries completed over (simulated) time,
+// per VM type, Bao vs the PostgreSQL-grade native optimizer.
+func (s *Session) Figure10() error {
+	header(s.Opts.Out, "Figure 10: IMDb queries completed over time (PostgreSQL engine)")
+	nat, bao, err := s.vmSweep(engine.GradePostgreSQL)
+	if err != nil {
+		return err
+	}
+	marks := []float64{0.25, 0.5, 0.75, 1.0}
+	var rows [][]string
+	for _, vm := range cloud.AllVMs() {
+		for _, sysRun := range []struct {
+			name string
+			r    *RunResult
+		}{{"native", nat[vm.Name]}, {"Bao", bao[vm.Name]}} {
+			row := []string{vm.Name, sysRun.name}
+			elapsed := 0.0
+			mi := 0
+			total := sysRun.r.TotalSeconds()
+			for i, q := range sysRun.r.Records {
+				elapsed += q.OptSecs + q.ExecSecs
+				for mi < len(marks) && elapsed >= marks[mi]*total-1e-12 {
+					row = append(row, fmt.Sprintf("%d@%s", i+1, fmtSecs(elapsed)))
+					mi++
+				}
+			}
+			for mi < len(marks) {
+				row = append(row, "-")
+				mi++
+			}
+			rows = append(rows, row)
+		}
+	}
+	table(s.Opts.Out,
+		[]string{"VM", "System", "25%t", "50%t", "75%t", "100%t"}, rows)
+	fmt.Fprintln(s.Opts.Out, "(entries are queries-completed@elapsed; more queries at the same fraction = faster)")
+	return nil
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+)
+
+// tinyOpts keeps harness tests fast.
+func tinyOpts(out *bytes.Buffer) Options {
+	return Options{Scale: 0.1, Queries: 60, Seed: 42, Out: out}
+}
+
+func TestRunWorkloadBothSystems(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSession(tinyOpts(&buf))
+	nat, err := s.Run("IMDb", cloud.N1_4, engine.GradePostgreSQL, SysNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nat.Records) != 60 || nat.TotalSeconds() <= 0 {
+		t.Fatalf("native run: %d records, %fs", len(nat.Records), nat.TotalSeconds())
+	}
+	bao, err := s.Run("IMDb", cloud.N1_4, engine.GradePostgreSQL, SysBao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bao.Bao == nil {
+		t.Fatal("bao run missing optimizer handle")
+	}
+	if bao.TrainCount == 0 {
+		t.Fatal("bao run never trained")
+	}
+	if bao.Bill.GPUSeconds <= 0 {
+		t.Fatal("bao run billed no GPU time")
+	}
+	// Session caching: a second request returns the same result.
+	again, err := s.Run("IMDb", cloud.N1_4, engine.GradePostgreSQL, SysNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != nat {
+		t.Fatal("session did not cache the run")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := percentile(xs, 50); got != 2.5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("percentile mutated its input")
+	}
+}
+
+func TestTable1AndFigure1Output(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSession(tinyOpts(&buf))
+	if err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Figure1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"IMDb", "Stack", "Corp", "16b", "24b", "Default/NoLoop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvalArmsDedupesAndIsComplete(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSession(tinyOpts(&buf))
+	eng, err := s.imdbEngine(cloud.N1_4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := s.BaoConfig()
+	secs, plans, err := evalArms(eng, bcfg.Arms, "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = 2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != len(bcfg.Arms) || len(plans) != len(bcfg.Arms) {
+		t.Fatal("evalArms must return one entry per arm")
+	}
+	for i, v := range secs {
+		if v <= 0 {
+			t.Fatalf("arm %d seconds = %v", i, v)
+		}
+	}
+	// Arms with identical plans must report identical seconds (dedupe).
+	sig := map[string]float64{}
+	for i, p := range plans {
+		if prev, ok := sig[p.Explain()]; ok && prev != secs[i] {
+			t.Fatal("identical plans reported different timings")
+		}
+		sig[p.Explain()] = secs[i]
+	}
+}
+
+func TestFmtSecs(t *testing.T) {
+	cases := map[float64]string{
+		0.0012: "1.2ms",
+		1.5:    "1.50s",
+		200:    "3.3m",
+	}
+	for in, want := range cases {
+		if got := fmtSecs(in); got != want {
+			t.Fatalf("fmtSecs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+
+	"bao/internal/nn"
+)
+
+// ForestModel is the Figure 15a "RF" ablation: a random forest of
+// regression trees over the flattened featurization, with per-tree
+// bootstrap samples and random feature subsets at each split.
+type ForestModel struct {
+	NumTrees int
+	MaxDepth int
+	MinLeaf  int
+	seed     int64
+	trees    []*regTree
+	fit      bool
+}
+
+// NewForest builds a random forest with grid-searched-reasonable defaults.
+func NewForest(seed int64) *ForestModel {
+	return &ForestModel{NumTrees: 50, MaxDepth: 8, MinLeaf: 3, seed: seed}
+}
+
+// Name implements Model.
+func (m *ForestModel) Name() string { return "RF" }
+
+// Fit implements Model.
+func (m *ForestModel) Fit(trees []*nn.Tree, secs []float64) int {
+	if len(trees) == 0 {
+		m.fit = false
+		return 0
+	}
+	xs := make([][]float64, len(trees))
+	ys := make([]float64, len(trees))
+	for i, t := range trees {
+		xs[i] = flatten(t)
+		ys[i] = logTransform(secs[i])
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	m.seed++
+	m.trees = make([]*regTree, m.NumTrees)
+	for ti := range m.trees {
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = rng.Intn(len(xs))
+		}
+		m.trees[ti] = growTree(xs, ys, idx, m.MaxDepth, m.MinLeaf, rng)
+	}
+	m.fit = true
+	return m.NumTrees
+}
+
+// Predict implements Model.
+func (m *ForestModel) Predict(trees []*nn.Tree) []float64 {
+	out := make([]float64, len(trees))
+	if !m.fit {
+		return out
+	}
+	for i, t := range trees {
+		x := flatten(t)
+		s := 0.0
+		for _, rt := range m.trees {
+			s += rt.predict(x)
+		}
+		out[i] = invTransform(s / float64(len(m.trees)))
+	}
+	return out
+}
+
+// regTree is a binary regression tree.
+type regTree struct {
+	feature     int
+	threshold   float64
+	value       float64
+	left, right *regTree
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	for t.left != nil {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// growTree builds a tree on the index subset by variance-reduction splits
+// over a random sqrt-size feature subset.
+func growTree(xs [][]float64, ys []float64, idx []int, depth, minLeaf int, rng *rand.Rand) *regTree {
+	mean := 0.0
+	for _, i := range idx {
+		mean += ys[i]
+	}
+	mean /= float64(len(idx))
+	node := &regTree{value: mean}
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return node
+	}
+	d := len(xs[0])
+	nf := 1
+	for nf*nf < d {
+		nf++
+	}
+	bestSSE := sse(ys, idx, mean)
+	var bestF int
+	var bestT float64
+	found := false
+	feats := rng.Perm(d)[:nf]
+	vals := make([]float64, 0, len(idx))
+	for _, f := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, xs[i][f])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at a handful of quantiles.
+		for q := 1; q < 8; q++ {
+			t := vals[q*len(vals)/8]
+			var ls, rs, lc, rc float64
+			for _, i := range idx {
+				if xs[i][f] <= t {
+					ls += ys[i]
+					lc++
+				} else {
+					rs += ys[i]
+					rc++
+				}
+			}
+			if lc < float64(minLeaf) || rc < float64(minLeaf) {
+				continue
+			}
+			lm, rm := ls/lc, rs/rc
+			s := 0.0
+			for _, i := range idx {
+				if xs[i][f] <= t {
+					s += (ys[i] - lm) * (ys[i] - lm)
+				} else {
+					s += (ys[i] - rm) * (ys[i] - rm)
+				}
+			}
+			if s < bestSSE-1e-12 {
+				bestSSE, bestF, bestT, found = s, f, t, true
+			}
+		}
+	}
+	if !found {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	node.feature, node.threshold = bestF, bestT
+	node.left = growTree(xs, ys, li, depth-1, minLeaf, rng)
+	node.right = growTree(xs, ys, ri, depth-1, minLeaf, rng)
+	return node
+}
+
+func sse(ys []float64, idx []int, mean float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += (ys[i] - mean) * (ys[i] - mean)
+	}
+	return s
+}

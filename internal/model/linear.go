@@ -1,0 +1,108 @@
+package model
+
+import "bao/internal/nn"
+
+// LinearModel is the Figure 15a "Linear" ablation: ridge regression over
+// the flattened tree featurization, solved exactly via the normal
+// equations.
+type LinearModel struct {
+	w      []float64
+	lambda float64
+	fit    bool
+}
+
+// NewLinear builds a ridge regression model.
+func NewLinear() *LinearModel { return &LinearModel{lambda: 1e-3} }
+
+// Name implements Model.
+func (m *LinearModel) Name() string { return "Linear" }
+
+// Fit implements Model: solves (XᵀX + λI)w = Xᵀy with Gaussian
+// elimination. The feature vector is augmented with a bias term.
+func (m *LinearModel) Fit(trees []*nn.Tree, secs []float64) int {
+	if len(trees) == 0 {
+		m.fit = false
+		return 0
+	}
+	xs := make([][]float64, len(trees))
+	for i, t := range trees {
+		xs[i] = append(flatten(t), 1)
+	}
+	d := len(xs[0])
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+		a[i][i] = m.lambda
+	}
+	for r, x := range xs {
+		y := logTransform(secs[r])
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			a[i][d] += x[i] * y
+		}
+	}
+	m.w = solve(a, d)
+	m.fit = m.w != nil
+	return 1
+}
+
+// Predict implements Model.
+func (m *LinearModel) Predict(trees []*nn.Tree) []float64 {
+	out := make([]float64, len(trees))
+	if !m.fit {
+		return out
+	}
+	for i, t := range trees {
+		x := append(flatten(t), 1)
+		y := 0.0
+		for j, v := range x {
+			y += m.w[j] * v
+		}
+		out[i] = invTransform(y)
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented system a (d×(d+1)); returns nil if singular.
+func solve(a [][]float64, d int) []float64 {
+	for col := 0; col < d; col++ {
+		p := col
+		for r := col + 1; r < d; r++ {
+			if abs(a[r][col]) > abs(a[p][col]) {
+				p = r
+			}
+		}
+		if abs(a[p][col]) < 1e-12 {
+			return nil
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for j := col; j <= d; j++ {
+			a[col][j] /= piv
+		}
+		for r := 0; r < d; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= d; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = a[i][d]
+	}
+	return w
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,63 @@
+// Package model defines the value-model interface behind Bao's plan
+// selection, with three implementations: the tree convolutional neural
+// network the paper uses, plus the random-forest and linear-regression
+// ablations of Figure 15a. All models regress observed performance (in
+// seconds) from vectorized plan trees; internally they work in log space
+// because latencies span five orders of magnitude.
+package model
+
+import "bao/internal/nn"
+
+// Model predicts plan performance from vectorized plan trees and can be
+// refit from scratch on a new experience sample.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Fit trains the model from scratch on (tree, seconds) pairs and
+	// reports the epochs (or equivalent iterations) used.
+	Fit(trees []*nn.Tree, secs []float64) int
+	// Predict estimates seconds for each tree.
+	Predict(trees []*nn.Tree) []float64
+}
+
+// logTransform maps seconds into the regression space.
+func logTransform(s float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	// log1p over milliseconds keeps sub-millisecond plans distinguishable.
+	return log1p(s * 1000)
+}
+
+func invTransform(y float64) float64 {
+	v := expm1(y) / 1000
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// flatten summarizes a tree into a fixed-length feature vector for the
+// non-tree models: per-channel mean and max over nodes, plus the node
+// count. This is the "reasonable hand-crafted featurization" the paper's
+// ablation contrasts with tree convolution.
+func flatten(t *nn.Tree) []float64 {
+	out := make([]float64, 2*t.D+1)
+	for j := 0; j < t.D; j++ {
+		out[t.D+j] = t.Feat[j]
+	}
+	for i := 0; i < t.N; i++ {
+		for j := 0; j < t.D; j++ {
+			v := t.Feat[i*t.D+j]
+			out[j] += v
+			if v > out[t.D+j] {
+				out[t.D+j] = v
+			}
+		}
+	}
+	for j := 0; j < t.D; j++ {
+		out[j] /= float64(t.N)
+	}
+	out[2*t.D] = float64(t.N)
+	return out
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bao/internal/nn"
+)
+
+// syntheticData builds trees whose "latency" is a simple function of their
+// root features and size, so every model family should be able to fit it.
+func syntheticData(n int, seed int64) ([]*nn.Tree, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var trees []*nn.Tree
+	var secs []float64
+	for i := 0; i < n; i++ {
+		size := 3 + 2*rng.Intn(4) // 3, 5, 7, 9 nodes
+		t := nn.NewTree(size, 4)
+		for j := 0; j < size-1; j += 2 {
+			t.Left[j/2] = j + 1
+			t.Right[j/2] = j + 2
+		}
+		for j := range t.Feat {
+			t.Feat[j] = rng.Float64()
+		}
+		trees = append(trees, t)
+		// Latency: driven by the mean of feature 0 across nodes and size.
+		m0 := 0.0
+		for j := 0; j < size; j++ {
+			m0 += t.Feat[j*4]
+		}
+		m0 /= float64(size)
+		secs = append(secs, 0.01*math.Exp(3*m0)*float64(size))
+	}
+	return trees, secs
+}
+
+func testModelFits(t *testing.T, m Model) {
+	t.Helper()
+	trees, secs := syntheticData(200, 1)
+	m.Fit(trees[:150], secs[:150])
+	preds := m.Predict(trees[150:])
+	// Measure rank correlation-ish quality: mean relative error in log
+	// space must beat a constant predictor.
+	var errM, errC float64
+	mean := 0.0
+	for _, s := range secs[:150] {
+		mean += logTransform(s)
+	}
+	mean /= 150
+	for i, p := range preds {
+		y := logTransform(secs[150+i])
+		errM += math.Abs(logTransform(p) - y)
+		errC += math.Abs(mean - y)
+	}
+	if errM >= errC {
+		t.Fatalf("%s: model error %.3f not better than constant predictor %.3f", m.Name(), errM, errC)
+	}
+}
+
+func TestTCNNModelFits(t *testing.T) {
+	cfg := nn.DefaultTrainConfig()
+	cfg.MaxEpochs = 40
+	testModelFits(t, NewTCNN(4, cfg, 1))
+}
+
+func TestLinearModelFits(t *testing.T) { testModelFits(t, NewLinear()) }
+func TestForestModelFits(t *testing.T) { testModelFits(t, NewForest(1)) }
+
+func TestUnfitModelsPredictZero(t *testing.T) {
+	trees, _ := syntheticData(3, 2)
+	for _, m := range []Model{NewTCNN(4, nn.DefaultTrainConfig(), 1), NewLinear(), NewForest(1)} {
+		for _, p := range m.Predict(trees) {
+			if p != 0 {
+				t.Fatalf("%s: unfit model predicted %v", m.Name(), p)
+			}
+		}
+	}
+}
+
+func TestFitEmptyIsSafe(t *testing.T) {
+	for _, m := range []Model{NewTCNN(4, nn.DefaultTrainConfig(), 1), NewLinear(), NewForest(1)} {
+		if ep := m.Fit(nil, nil); ep != 0 {
+			t.Fatalf("%s: Fit(nil) = %d epochs", m.Name(), ep)
+		}
+	}
+}
+
+func TestPredictionsNonNegative(t *testing.T) {
+	trees, secs := syntheticData(100, 3)
+	for _, m := range []Model{NewLinear(), NewForest(2)} {
+		m.Fit(trees, secs)
+		for i, p := range m.Predict(trees) {
+			if p < 0 || math.IsNaN(p) {
+				t.Fatalf("%s: prediction %d = %v", m.Name(), i, p)
+			}
+		}
+	}
+}
+
+func TestTCNNBootstrapVariance(t *testing.T) {
+	// Two consecutive fits on the same data must produce different
+	// parameters (fresh init per fit) — the mechanism behind Thompson
+	// sampling's posterior draws.
+	trees, secs := syntheticData(60, 4)
+	cfg := nn.DefaultTrainConfig()
+	cfg.MaxEpochs = 5
+	m := NewTCNN(4, cfg, 9)
+	m.Fit(trees, secs)
+	p1 := m.Predict(trees[:5])
+	m.Fit(trees, secs)
+	p2 := m.Predict(trees[:5])
+	same := true
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-12 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two fits produced identical predictions; Thompson resampling is broken")
+	}
+}
+
+func TestFlattenShape(t *testing.T) {
+	tr := nn.NewTree(3, 5)
+	tr.Left[0], tr.Right[0] = 1, 2
+	x := flatten(tr)
+	if len(x) != 11 {
+		t.Fatalf("flatten dim = %d, want 2*5+1", len(x))
+	}
+	if x[10] != 3 {
+		t.Fatalf("node count feature = %v", x[10])
+	}
+}
+
+func TestLogTransformRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 1e-4, 0.5, 10, 500} {
+		got := invTransform(logTransform(s))
+		if math.Abs(got-s) > 1e-9*(1+s) {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+	}
+	if invTransform(-5) != 0 {
+		t.Fatal("negative log-space predictions must clamp to 0 seconds")
+	}
+}

@@ -1,0 +1,60 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"bao/internal/nn"
+)
+
+// tcnnState is the gob-serializable form of a trained TCNN model: the
+// architecture, the flattened weights, and the target normalization.
+type tcnnState struct {
+	Cfg        nn.TCNNConfig
+	Weights    [][]float64
+	Mean, Std  float64
+	YMin, YMax float64
+}
+
+// Save serializes the trained model. Loading it back (Load) restores
+// identical predictions, so a Bao deployment can persist its value model
+// across restarts instead of relearning from an empty experience window.
+func (m *TCNNModel) Save(w io.Writer) error {
+	if !m.fit {
+		return fmt.Errorf("model: cannot save an untrained model")
+	}
+	st := tcnnState{
+		Cfg:     m.cfg,
+		Weights: m.net.Snapshot(),
+		Mean:    m.mean, Std: m.std,
+		YMin: m.yMin, YMax: m.yMax,
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Load restores a model saved with Save.
+func (m *TCNNModel) Load(r io.Reader) error {
+	var st tcnnState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("model: load: %w", err)
+	}
+	m.cfg = st.Cfg
+	m.net = nn.NewTCNN(st.Cfg)
+	// Validate shape compatibility before restoring.
+	params := m.net.Params()
+	if len(params) != len(st.Weights) {
+		return fmt.Errorf("model: load: %d parameter tensors, expected %d", len(st.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(st.Weights[i]) != p.Size() {
+			return fmt.Errorf("model: load: parameter %s has %d weights, expected %d",
+				p.Name, len(st.Weights[i]), p.Size())
+		}
+	}
+	m.net.Restore(st.Weights)
+	m.mean, m.std = st.Mean, st.Std
+	m.yMin, m.yMax = st.YMin, st.YMax
+	m.fit = true
+	return nil
+}

@@ -1,0 +1,51 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bao/internal/nn"
+)
+
+func TestTCNNSaveLoadRoundTrip(t *testing.T) {
+	trees, secs := syntheticData(80, 11)
+	cfg := nn.DefaultTrainConfig()
+	cfg.MaxEpochs = 10
+	m := NewTCNN(4, cfg, 3)
+	m.Fit(trees, secs)
+	want := m.Predict(trees[:10])
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewTCNN(4, cfg, 99) // different seed: weights must come from Load
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Predict(trees[:10])
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("prediction %d changed across save/load: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	m := NewTCNN(4, nn.DefaultTrainConfig(), 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("saving an untrained model should fail")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	m := NewTCNN(4, nn.DefaultTrainConfig(), 1)
+	if err := m.Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("loading garbage should fail")
+	}
+	if m.fit {
+		t.Fatal("failed load must not mark the model trained")
+	}
+}

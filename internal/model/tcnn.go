@@ -1,0 +1,99 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"bao/internal/nn"
+)
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+func expm1(x float64) float64 { return math.Expm1(x) }
+
+// TCNNModel is Bao's value model: the tree convolutional network of
+// Figure 5, trained with Adam on log-space targets.
+type TCNNModel struct {
+	net        *nn.TCNN
+	cfg        nn.TCNNConfig
+	train      nn.TrainConfig
+	mean       float64
+	std        float64
+	yMin, yMax float64 // observed target range, in log space
+	fit        bool
+}
+
+// NewTCNN builds an untrained TCNN model for the given input feature
+// dimension. Each Fit reinitializes the network (Thompson sampling trains a
+// fresh network per bootstrap).
+func NewTCNN(inDim int, train nn.TrainConfig, seed int64) *TCNNModel {
+	cfg := nn.DefaultTCNNConfig(inDim)
+	cfg.Seed = seed
+	return &TCNNModel{cfg: cfg, train: train}
+}
+
+// Name implements Model.
+func (m *TCNNModel) Name() string { return "TCNN" }
+
+// Fit implements Model: reinitializes and trains the network.
+func (m *TCNNModel) Fit(trees []*nn.Tree, secs []float64) int {
+	if len(trees) == 0 {
+		m.fit = false
+		return 0
+	}
+	ys := make([]float64, len(secs))
+	var sum, sq float64
+	m.yMax = math.Inf(-1)
+	for i, s := range secs {
+		ys[i] = logTransform(s)
+		sum += ys[i]
+		if ys[i] > m.yMax {
+			m.yMax = ys[i]
+		}
+	}
+	// The prediction floor is the 25th percentile of observed targets, not
+	// the minimum: an unexplored plan then looks "decent" rather than
+	// "best possible", so the bandit explores where its known arms are
+	// slow (tail queries, where exploration pays) and exploits where they
+	// are already fast.
+	sorted := append([]float64(nil), ys...)
+	sort.Float64s(sorted)
+	m.yMin = sorted[len(sorted)/4]
+	m.mean = sum / float64(len(ys))
+	for _, y := range ys {
+		sq += (y - m.mean) * (y - m.mean)
+	}
+	m.std = math.Sqrt(sq/float64(len(ys))) + 1e-6
+	for i := range ys {
+		ys[i] = (ys[i] - m.mean) / m.std
+	}
+	m.cfg.Seed++ // fresh initialization per bootstrap
+	m.net = nn.NewTCNN(m.cfg)
+	res := m.net.Train(trees, ys, m.train)
+	m.fit = true
+	return res.Epochs
+}
+
+// Predict implements Model.
+func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {
+	out := make([]float64, len(trees))
+	if !m.fit {
+		return out
+	}
+	for i, t := range trees {
+		y := m.net.Forward(t)*m.std + m.mean
+		// Clamp to the observed target range: the model has no basis for
+		// predicting performance outside what it has seen, and an argmin
+		// over arms would otherwise chase wild extrapolations.
+		if y < m.yMin {
+			y = m.yMin
+		}
+		if y > m.yMax {
+			y = m.yMax
+		}
+		out[i] = invTransform(y)
+	}
+	return out
+}
+
+// Trained reports whether the model has been fit at least once.
+func (m *TCNNModel) Trained() bool { return m.fit }

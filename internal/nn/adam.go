@@ -1,0 +1,59 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam stochastic optimizer (Kingma & Ba, ICLR '15),
+// the optimizer the paper trains Bao's value model with. Per-parameter
+// first and second moment estimates are kept in maps keyed by parameter
+// identity, so a single Adam instance can drive any set of Params.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// WeightDecay applies decoupled L2 regularization (AdamW-style). A
+	// small decay tames extrapolation into unseen feature regions, which
+	// matters because Bao's arm selection is an argmin over predictions.
+	WeightDecay float64
+	t           int
+	m, v        map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with the paper-standard moment
+// decays (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 1e-4,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			a.v[p] = v
+		}
+		for i, g := range p.G {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.W[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.W[i])
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Reset discards optimizer state (moments and step count), as is done when
+// a fresh model is trained on a new bootstrap sample.
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = make(map[*Param][]float64)
+	a.v = make(map[*Param][]float64)
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad estimates dLoss/dw for a single weight by central
+// differences, where loss() recomputes the full forward pass.
+func numericalGrad(w *float64, loss func() float64) float64 {
+	const h = 1e-6
+	orig := *w
+	*w = orig + h
+	lp := loss()
+	*w = orig - h
+	lm := loss()
+	*w = orig
+	return (lp - lm) / (2 * h)
+}
+
+// randomTree builds a random strictly binary tree with n internal+leaf
+// nodes and d-dimensional features.
+func randomTree(rng *rand.Rand, d int) *Tree {
+	// Build a small binary tree: root with two children, each child maybe
+	// with two children.
+	n := 7
+	t := NewTree(n, d)
+	t.Left[0], t.Right[0] = 1, 2
+	t.Left[1], t.Right[1] = 3, 4
+	t.Left[2], t.Right[2] = 5, 6
+	for i := range t.Feat {
+		t.Feat[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func checkParamGrads(t *testing.T, name string, params []*Param, loss func() float64, backward func()) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	backward()
+	for _, p := range params {
+		for i := range p.W {
+			num := numericalGrad(&p.W[i], loss)
+			got := p.G[i]
+			tol := 1e-4 * (1 + math.Abs(num))
+			if math.Abs(num-got) > tol {
+				t.Fatalf("%s: param %s[%d]: analytic grad %g, numerical %g", name, p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestTreeConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conv := NewTreeConv("c", 3, 4, rng)
+	in := randomTree(rng, 3)
+	target := make([]float64, in.N*4)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		out := conv.Forward(in)
+		s := 0.0
+		for i, v := range out.Feat {
+			d := v - target[i]
+			s += d * d
+		}
+		return s
+	}
+	backward := func() {
+		out := conv.Forward(in)
+		g := make([]float64, len(out.Feat))
+		for i, v := range out.Feat {
+			g[i] = 2 * (v - target[i])
+		}
+		conv.Backward(g)
+	}
+	checkParamGrads(t, "treeconv", conv.Params(), loss, backward)
+}
+
+func TestTreeConvInputGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	conv := NewTreeConv("c", 3, 2, rng)
+	in := randomTree(rng, 3)
+	loss := func() float64 {
+		out := conv.Forward(in)
+		s := 0.0
+		for _, v := range out.Feat {
+			s += v * v
+		}
+		return s
+	}
+	out := conv.Forward(in)
+	g := make([]float64, len(out.Feat))
+	for i, v := range out.Feat {
+		g[i] = 2 * v
+	}
+	dIn := conv.Backward(g)
+	for i := range in.Feat {
+		num := numericalGrad(&in.Feat[i], loss)
+		if math.Abs(num-dIn[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("input grad [%d]: analytic %g, numerical %g", i, dIn[i], num)
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ln := NewTreeLayerNorm("ln", 5)
+	in := randomTree(rng, 5)
+	target := make([]float64, in.N*5)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		out := ln.Forward(in)
+		s := 0.0
+		for i, v := range out.Feat {
+			d := v - target[i]
+			s += d * d
+		}
+		return s
+	}
+	backward := func() {
+		out := ln.Forward(in)
+		g := make([]float64, len(out.Feat))
+		for i, v := range out.Feat {
+			g[i] = 2 * (v - target[i])
+		}
+		ln.Backward(g)
+	}
+	checkParamGrads(t, "layernorm", ln.Params(), loss, backward)
+
+	// Input gradients too.
+	out := ln.Forward(in)
+	g := make([]float64, len(out.Feat))
+	for i, v := range out.Feat {
+		g[i] = 2 * (v - target[i])
+	}
+	for _, p := range ln.Params() {
+		p.ZeroGrad()
+	}
+	dIn := ln.Backward(g)
+	for i := range in.Feat {
+		num := numericalGrad(&in.Feat[i], loss)
+		if math.Abs(num-dIn[i]) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("layernorm input grad [%d]: analytic %g, numerical %g", i, dIn[i], num)
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lin := NewLinear("l", 4, 3, rng)
+	x := []float64{0.5, -1.2, 2.0, 0.1}
+	target := []float64{1, -1, 0.5}
+	loss := func() float64 {
+		y := lin.Forward(x)
+		s := 0.0
+		for i, v := range y {
+			d := v - target[i]
+			s += d * d
+		}
+		return s
+	}
+	backward := func() {
+		y := lin.Forward(x)
+		g := make([]float64, len(y))
+		for i, v := range y {
+			g[i] = 2 * (v - target[i])
+		}
+		lin.Backward(g)
+	}
+	checkParamGrads(t, "linear", lin.Params(), loss, backward)
+}
+
+func TestTCNNEndToEndGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := TCNNConfig{InDim: 3, Channels: [3]int{4, 3, 3}, Hidden: 3, Seed: 5}
+	m := NewTCNN(cfg)
+	in := randomTree(rng, 3)
+	target := 1.5
+	loss := func() float64 {
+		d := m.Forward(in) - target
+		return d * d
+	}
+	backward := func() {
+		d := m.Forward(in) - target
+		m.Backward(2 * d)
+	}
+	// Spot-check a subset of parameters (full check is slow); use the first
+	// conv layer, a layer norm, and the head.
+	params := []*Param{m.conv[0].Wleft, m.norm[1].Gain, m.fc1.W, m.fc2.B}
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	backward()
+	for _, p := range params {
+		for i := 0; i < len(p.W); i += 3 {
+			num := numericalGrad(&p.W[i], loss)
+			got := p.G[i]
+			if math.Abs(num-got) > 1e-3*(1+math.Abs(num)) {
+				t.Fatalf("tcnn %s[%d]: analytic %g, numerical %g", p.Name, i, got, num)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TreeConv is a tree convolution layer (Mou et al.). For every node i with
+// children l and r it computes
+//
+//	y_i = Wroot·x_i + Wleft·x_l + Wright·x_r + b
+//
+// where a missing child contributes nothing (equivalently, a zero vector).
+// The output is a tree of the same shape with Out-dimensional features.
+type TreeConv struct {
+	In, Out              int
+	Wroot, Wleft, Wright *Param
+	B                    *Param
+	lastIn               *Tree // cached for backward
+}
+
+// NewTreeConv constructs a tree convolution mapping In-dim node features to
+// Out-dim node features.
+func NewTreeConv(name string, in, out int, rng *rand.Rand) *TreeConv {
+	return &TreeConv{
+		In: in, Out: out,
+		Wroot:  NewParam(name+".root", out, in, rng),
+		Wleft:  NewParam(name+".left", out, in, rng),
+		Wright: NewParam(name+".right", out, in, rng),
+		B:      NewZeroParam(name+".bias", out, 1),
+	}
+}
+
+// Forward applies the convolution, caching the input for Backward.
+func (c *TreeConv) Forward(t *Tree) *Tree {
+	c.lastIn = t
+	out := make([]float64, t.N*c.Out)
+	for i := 0; i < t.N; i++ {
+		y := out[i*c.Out : i*c.Out+c.Out]
+		copy(y, c.B.W)
+		matVec(c.Wroot.W, c.Out, c.In, t.Row(i), y)
+		if l := t.Left[i]; l != -1 {
+			matVec(c.Wleft.W, c.Out, c.In, t.Row(l), y)
+		}
+		if r := t.Right[i]; r != -1 {
+			matVec(c.Wright.W, c.Out, c.In, t.Row(r), y)
+		}
+	}
+	return t.WithFeatures(c.Out, out)
+}
+
+// Backward consumes the gradient with respect to the layer output features
+// (N×Out, flattened) and returns the gradient with respect to the input
+// features (N×In), accumulating parameter gradients along the way.
+func (c *TreeConv) Backward(dOut []float64) []float64 {
+	t := c.lastIn
+	dIn := make([]float64, t.N*c.In)
+	for i := 0; i < t.N; i++ {
+		g := dOut[i*c.Out : i*c.Out+c.Out]
+		for k, gv := range g {
+			c.B.G[k] += gv
+		}
+		matTVec(c.Wroot.W, c.Out, c.In, g, dIn[i*c.In:i*c.In+c.In])
+		outerAccum(c.Wroot.G, c.Out, c.In, g, t.Row(i))
+		if l := t.Left[i]; l != -1 {
+			matTVec(c.Wleft.W, c.Out, c.In, g, dIn[l*c.In:l*c.In+c.In])
+			outerAccum(c.Wleft.G, c.Out, c.In, g, t.Row(l))
+		}
+		if r := t.Right[i]; r != -1 {
+			matTVec(c.Wright.W, c.Out, c.In, g, dIn[r*c.In:r*c.In+c.In])
+			outerAccum(c.Wright.G, c.Out, c.In, g, t.Row(r))
+		}
+	}
+	return dIn
+}
+
+// Params returns the layer's trainable parameters.
+func (c *TreeConv) Params() []*Param { return []*Param{c.Wroot, c.Wleft, c.Wright, c.B} }
+
+// TreeReLU applies an elementwise rectifier to every node feature.
+type TreeReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative activations, remembering which survived.
+func (r *TreeReLU) Forward(t *Tree) *Tree {
+	out := make([]float64, len(t.Feat))
+	if cap(r.mask) < len(t.Feat) {
+		r.mask = make([]bool, len(t.Feat))
+	}
+	r.mask = r.mask[:len(t.Feat)]
+	for i, v := range t.Feat {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return t.WithFeatures(t.D, out)
+}
+
+// Backward gates the output gradient by the forward mask.
+func (r *TreeReLU) Backward(dOut []float64) []float64 {
+	dIn := make([]float64, len(dOut))
+	for i, m := range r.mask {
+		if m {
+			dIn[i] = dOut[i]
+		}
+	}
+	return dIn
+}
+
+// TreeLayerNorm normalizes each node's feature vector to zero mean and unit
+// variance across channels, then applies a learned gain and shift. This is
+// the layer normalization Bao applies between tree convolutions.
+type TreeLayerNorm struct {
+	D          int
+	Gain, Bias *Param
+	eps        float64
+	lastIn     *Tree
+	mean, istd []float64 // per node
+	norm       []float64 // normalized activations, N×D
+}
+
+// NewTreeLayerNorm constructs a layer norm over d channels.
+func NewTreeLayerNorm(name string, d int) *TreeLayerNorm {
+	return &TreeLayerNorm{
+		D:    d,
+		Gain: NewConstParam(name+".gain", d, 1, 1),
+		Bias: NewZeroParam(name+".bias", d, 1),
+		eps:  1e-5,
+	}
+}
+
+// Forward normalizes each node independently.
+func (n *TreeLayerNorm) Forward(t *Tree) *Tree {
+	n.lastIn = t
+	n.mean = make([]float64, t.N)
+	n.istd = make([]float64, t.N)
+	n.norm = make([]float64, t.N*t.D)
+	out := make([]float64, t.N*t.D)
+	for i := 0; i < t.N; i++ {
+		x := t.Row(i)
+		mu := 0.0
+		for _, v := range x {
+			mu += v
+		}
+		mu /= float64(t.D)
+		va := 0.0
+		for _, v := range x {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(t.D)
+		istd := 1.0 / math.Sqrt(va+n.eps)
+		n.mean[i], n.istd[i] = mu, istd
+		for j, v := range x {
+			z := (v - mu) * istd
+			n.norm[i*t.D+j] = z
+			out[i*t.D+j] = z*n.Gain.W[j] + n.Bias.W[j]
+		}
+	}
+	return t.WithFeatures(t.D, out)
+}
+
+// Backward propagates gradients through the normalization.
+func (n *TreeLayerNorm) Backward(dOut []float64) []float64 {
+	t := n.lastIn
+	d := float64(t.D)
+	dIn := make([]float64, t.N*t.D)
+	for i := 0; i < t.N; i++ {
+		var sumDz, sumDzZ float64
+		dz := make([]float64, t.D)
+		for j := 0; j < t.D; j++ {
+			g := dOut[i*t.D+j]
+			z := n.norm[i*t.D+j]
+			n.Gain.G[j] += g * z
+			n.Bias.G[j] += g
+			dz[j] = g * n.Gain.W[j]
+			sumDz += dz[j]
+			sumDzZ += dz[j] * z
+		}
+		istd := n.istd[i]
+		for j := 0; j < t.D; j++ {
+			z := n.norm[i*t.D+j]
+			dIn[i*t.D+j] = istd * (dz[j] - sumDz/d - z*sumDzZ/d)
+		}
+	}
+	return dIn
+}
+
+// Params returns the learned gain and shift.
+func (n *TreeLayerNorm) Params() []*Param { return []*Param{n.Gain, n.Bias} }
+
+// DynamicPool flattens a tree into a single vector by taking the
+// elementwise maximum over all nodes ("dynamic pooling"), making the
+// network applicable to trees of any size.
+type DynamicPool struct {
+	argmax []int
+	n      int
+}
+
+// Forward returns the channel-wise max over nodes and remembers which node
+// supplied each maximum.
+func (p *DynamicPool) Forward(t *Tree) []float64 {
+	out := make([]float64, t.D)
+	p.argmax = make([]int, t.D)
+	p.n = t.N
+	copy(out, t.Row(0))
+	for i := 1; i < t.N; i++ {
+		x := t.Row(i)
+		for j, v := range x {
+			if v > out[j] {
+				out[j] = v
+				p.argmax[j] = i
+			}
+		}
+	}
+	return out
+}
+
+// Backward scatters the pooled gradient back to the argmax nodes.
+func (p *DynamicPool) Backward(dOut []float64, d int) []float64 {
+	dIn := make([]float64, p.n*d)
+	for j, g := range dOut {
+		dIn[p.argmax[j]*d+j] = g
+	}
+	return dIn
+}
+
+// Linear is a fully connected layer y = W·x + b on plain vectors.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+	lastIn  []float64
+}
+
+// NewLinear constructs a fully connected layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{In: in, Out: out,
+		W: NewParam(name+".w", out, in, rng),
+		B: NewZeroParam(name+".b", out, 1)}
+}
+
+// Forward computes the affine map, caching the input.
+func (l *Linear) Forward(x []float64) []float64 {
+	l.lastIn = x
+	y := make([]float64, l.Out)
+	copy(y, l.B.W)
+	matVec(l.W.W, l.Out, l.In, x, y)
+	return y
+}
+
+// Backward returns the input gradient and accumulates parameter gradients.
+func (l *Linear) Backward(dOut []float64) []float64 {
+	dIn := make([]float64, l.In)
+	matTVec(l.W.W, l.Out, l.In, dOut, dIn)
+	outerAccum(l.W.G, l.Out, l.In, dOut, l.lastIn)
+	for k, g := range dOut {
+		l.B.G[k] += g
+	}
+	return dIn
+}
+
+// Params returns the weight matrix and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU is an elementwise rectifier on plain vectors.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative entries.
+func (r *ReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	r.mask = make([]bool, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(dOut []float64) []float64 {
+	dIn := make([]float64, len(dOut))
+	for i, m := range r.mask {
+		if m {
+			dIn[i] = dOut[i]
+		}
+	}
+	return dIn
+}

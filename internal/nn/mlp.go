@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a plain fully connected network with ReLU activations between
+// layers. The DQ baseline (Krishnan et al.) uses an MLP over a hand-crafted
+// featurization; the paper attributes DQ's slow convergence partly to this
+// architecture's poor inductive bias for plan trees.
+type MLP struct {
+	layers []*Linear
+	acts   []*ReLU
+}
+
+// NewMLP builds a network with the given layer sizes, e.g. sizes =
+// [in, 64, 64, 1].
+func NewMLP(sizes []int, seed int64) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, NewLinear("mlp", sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			m.acts = append(m.acts, &ReLU{})
+		}
+	}
+	return m
+}
+
+// Forward runs the network on one input vector.
+func (m *MLP) Forward(x []float64) []float64 {
+	for i, l := range m.layers {
+		x = l.Forward(x)
+		if i < len(m.acts) {
+			x = m.acts[i].Forward(x)
+		}
+	}
+	return x
+}
+
+// Backward backpropagates the output gradient, accumulating parameter
+// gradients, and returns the input gradient.
+func (m *MLP) Backward(dOut []float64) []float64 {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if i < len(m.acts) {
+			dOut = m.acts[i].Backward(dOut)
+		}
+		dOut = m.layers[i].Backward(dOut)
+	}
+	return dOut
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Snapshot captures all weights.
+func (m *MLP) Snapshot() [][]float64 {
+	ps := m.Params()
+	s := make([][]float64, len(ps))
+	for i, p := range ps {
+		s[i] = p.Clone()
+	}
+	return s
+}
+
+// Restore loads weights captured by Snapshot.
+func (m *MLP) Restore(s [][]float64) {
+	for i, p := range m.Params() {
+		p.Restore(s[i])
+	}
+}
+
+// FitScalar trains the MLP as a scalar regressor with MSE loss, mirroring
+// TCNN.Train for non-tree inputs.
+func (m *MLP) FitScalar(xs [][]float64, ys []float64, cfg TrainConfig) TrainResult {
+	if len(xs) == 0 {
+		return TrainResult{}
+	}
+	opt := NewAdam(cfg.LR)
+	params := m.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(xs))
+	best := math.Inf(1)
+	stale := 0
+	var res TrainResult
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		loss := 0.0
+		for b := 0; b < len(order); b += cfg.BatchSize {
+			end := b + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			n := float64(end - b)
+			for _, idx := range order[b:end] {
+				pred := m.Forward(xs[idx])[0]
+				diff := pred - ys[idx]
+				loss += diff * diff
+				m.Backward([]float64{2 * diff / n})
+			}
+			opt.Step(params)
+		}
+		loss /= float64(len(order))
+		res = TrainResult{Epochs: epoch + 1, FinalLoss: loss}
+		if loss < best*(1-cfg.MinImprove) {
+			best = loss
+			stale = 0
+		} else if stale++; stale >= cfg.Patience {
+			break
+		}
+	}
+	return res
+}

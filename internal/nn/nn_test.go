@@ -1,0 +1,314 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeValidate(t *testing.T) {
+	tr := NewTree(3, 2)
+	tr.Left[0], tr.Right[0] = 1, 2
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if !tr.IsBinary() {
+		t.Fatal("tree with 0-or-2 children should be binary")
+	}
+	tr.Right[0] = -1
+	if tr.IsBinary() {
+		t.Fatal("one-child node should not be binary")
+	}
+	tr.Right[0] = 5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("out-of-range child accepted")
+	}
+	tr.Right[0] = 0
+	if err := tr.Validate(); err == nil {
+		t.Fatal("self-child accepted")
+	}
+	tr.Right[0] = 1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("duplicate child accepted")
+	}
+}
+
+func TestTreeConvShapePreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewTreeConv("c", 4, 8, rng)
+	in := randomTree(rng, 4)
+	out := conv.Forward(in)
+	if out.N != in.N {
+		t.Fatalf("tree conv changed node count: %d -> %d", in.N, out.N)
+	}
+	if out.D != 8 {
+		t.Fatalf("output dim = %d, want 8", out.D)
+	}
+	for i := range out.Left {
+		if out.Left[i] != in.Left[i] || out.Right[i] != in.Right[i] {
+			t.Fatal("tree conv changed topology")
+		}
+	}
+}
+
+// Property: tree convolution is sensitive to which side a child is on
+// (left vs right use different weights), which is what lets it recognize
+// patterns like "merge join whose left child is a sort".
+func TestTreeConvChildOrderSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewTreeConv("c", 3, 3, rng)
+	a := NewTree(3, 3)
+	a.Left[0], a.Right[0] = 1, 2
+	for i := range a.Feat {
+		a.Feat[i] = rng.NormFloat64()
+	}
+	b := NewTree(3, 3)
+	b.Left[0], b.Right[0] = 2, 1 // swapped children
+	copy(b.Feat, a.Feat)
+	ya := conv.Forward(a).Row(0)
+	yb := conv.Forward(b).Row(0)
+	diff := 0.0
+	for i := range ya {
+		diff += math.Abs(ya[i] - yb[i])
+	}
+	if diff < 1e-9 {
+		t.Fatal("tree conv output identical after swapping children; left/right weights must differ")
+	}
+}
+
+func TestDynamicPoolMax(t *testing.T) {
+	tr := NewTree(3, 2)
+	tr.Left[0], tr.Right[0] = 1, 2
+	copy(tr.Feat, []float64{1, -5, 3, 2, -1, 7})
+	p := &DynamicPool{}
+	out := p.Forward(tr)
+	if out[0] != 3 || out[1] != 7 {
+		t.Fatalf("pool = %v, want [3 7]", out)
+	}
+	g := p.Backward([]float64{1, 1}, 2)
+	// Gradient must land on node 1 channel 0 and node 2 channel 1.
+	want := []float64{0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("pool backward = %v, want %v", g, want)
+		}
+	}
+}
+
+// Property: pooling output is invariant to node storage order (max is
+// commutative), checked with testing/quick.
+func TestDynamicPoolPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		d := 1 + rng.Intn(5)
+		feats := make([]float64, n*d)
+		for i := range feats {
+			feats[i] = rng.NormFloat64()
+		}
+		t1 := NewTree(n, d)
+		copy(t1.Feat, feats)
+		// Permute node order.
+		perm := rng.Perm(n)
+		t2 := NewTree(n, d)
+		for i, p := range perm {
+			copy(t2.Feat[p*d:p*d+d], feats[i*d:i*d+d])
+		}
+		p1, p2 := &DynamicPool{}, &DynamicPool{}
+		o1 := p1.Forward(t1)
+		o2 := p2.Forward(t2)
+		for i := range o1 {
+			if math.Abs(o1[i]-o2[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewTreeLayerNorm("ln", 6)
+	in := randomTree(rng, 6)
+	// Scale input wildly; with unit gain and zero bias output rows should
+	// have ~zero mean and ~unit variance.
+	for i := range in.Feat {
+		in.Feat[i] *= 100
+	}
+	out := ln.Forward(in)
+	for i := 0; i < out.N; i++ {
+		row := out.Row(i)
+		mu, va := 0.0, 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= 6
+		for _, v := range row {
+			va += (v - mu) * (v - mu)
+		}
+		va /= 6
+		if math.Abs(mu) > 1e-9 {
+			t.Fatalf("node %d mean = %g, want ~0", i, mu)
+		}
+		if math.Abs(va-1) > 1e-3 {
+			t.Fatalf("node %d var = %g, want ~1", i, va)
+		}
+	}
+}
+
+func TestAdamConvergesOnConvexProblem(t *testing.T) {
+	// Minimize (w-3)^2 + (v+2)^2.
+	p := NewZeroParam("p", 2, 1)
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.G[0] = 2 * (p.W[0] - 3)
+		p.G[1] = 2 * (p.W[1] + 2)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.W[0]-3) > 1e-2 || math.Abs(p.W[1]+2) > 1e-2 {
+		t.Fatalf("adam did not converge: %v", p.W)
+	}
+}
+
+func TestTCNNLearnsSimpleFunction(t *testing.T) {
+	// Target: sum of root features. The TCNN should fit this quickly.
+	rng := rand.New(rand.NewSource(4))
+	cfg := TCNNConfig{InDim: 3, Channels: [3]int{8, 8, 8}, Hidden: 8, Seed: 2}
+	m := NewTCNN(cfg)
+	var trees []*Tree
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		tr := randomTree(rng, 3)
+		trees = append(trees, tr)
+		s := 0.0
+		for _, v := range tr.Row(0) {
+			s += v
+		}
+		ys = append(ys, s)
+	}
+	tc := DefaultTrainConfig()
+	tc.MaxEpochs = 200
+	tc.Patience = 50
+	res := m.Train(trees, ys, tc)
+	if res.FinalLoss > 0.15 {
+		t.Fatalf("TCNN failed to fit simple function: loss %g after %d epochs", res.FinalLoss, res.Epochs)
+	}
+}
+
+func TestTCNNSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := TCNNConfig{InDim: 3, Channels: [3]int{4, 4, 4}, Hidden: 4, Seed: 3}
+	m := NewTCNN(cfg)
+	in := randomTree(rng, 3)
+	before := m.Forward(in)
+	snap := m.Snapshot()
+	// Perturb all weights.
+	for _, p := range m.Params() {
+		for i := range p.W {
+			p.W[i] += 0.5
+		}
+	}
+	if m.Forward(in) == before {
+		t.Fatal("perturbation had no effect; test is vacuous")
+	}
+	m.Restore(snap)
+	if got := m.Forward(in); got != before {
+		t.Fatalf("restore did not recover prediction: %g != %g", got, before)
+	}
+}
+
+func TestMLPLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP([]int{3, 16, 1}, 7)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, 2*x[0]-x[1]+0.5*x[2])
+	}
+	tc := DefaultTrainConfig()
+	tc.MaxEpochs = 300
+	tc.Patience = 50
+	res := m.FitScalar(xs, ys, tc)
+	if res.FinalLoss > 0.05 {
+		t.Fatalf("MLP failed to fit linear function: loss %g", res.FinalLoss)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	build := func() float64 {
+		rng := rand.New(rand.NewSource(12))
+		cfg := TCNNConfig{InDim: 3, Channels: [3]int{4, 4, 4}, Hidden: 4, Seed: 9}
+		m := NewTCNN(cfg)
+		var trees []*Tree
+		var ys []float64
+		for i := 0; i < 20; i++ {
+			trees = append(trees, randomTree(rng, 3))
+			ys = append(ys, rng.NormFloat64())
+		}
+		tc := DefaultTrainConfig()
+		tc.MaxEpochs = 5
+		m.Train(trees, ys, tc)
+		return m.Forward(trees[0])
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("training not deterministic: %g != %g", a, b)
+	}
+}
+
+func TestLayerNormConstantInput(t *testing.T) {
+	// Zero-variance rows must not divide by zero; eps keeps output finite.
+	ln := NewTreeLayerNorm("ln", 4)
+	tr := NewTree(2, 4)
+	for i := range tr.Feat {
+		tr.Feat[i] = 3.14
+	}
+	out := ln.Forward(tr)
+	for _, v := range out.Feat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("layer norm produced %v on constant input", v)
+		}
+	}
+	g := ln.Backward(make([]float64, len(out.Feat)))
+	for _, v := range g {
+		if math.IsNaN(v) {
+			t.Fatal("layer norm backward produced NaN on constant input")
+		}
+	}
+}
+
+func TestAdamWeightDecayShrinksUnusedWeights(t *testing.T) {
+	// With zero gradients, decoupled weight decay must still pull weights
+	// toward zero (the mechanism that tames extrapolation).
+	p := NewConstParam("p", 4, 1, 1.0)
+	opt := NewAdam(0.01)
+	for i := 0; i < 100; i++ {
+		opt.Step([]*Param{p})
+	}
+	for _, w := range p.W {
+		if w >= 1.0 {
+			t.Fatalf("weight decay had no effect: %v", w)
+		}
+		if w < 0 {
+			t.Fatalf("weight decay overshot below zero: %v", w)
+		}
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	// A one-node "tree" (leaf-only plan) must flow through every layer.
+	cfg := TCNNConfig{InDim: 3, Channels: [3]int{4, 4, 4}, Hidden: 4, Seed: 8}
+	m := NewTCNN(cfg)
+	tr := NewTree(1, 3)
+	tr.Feat[0], tr.Feat[1], tr.Feat[2] = 1, 2, 3
+	out := m.Forward(tr)
+	if math.IsNaN(out) {
+		t.Fatal("single-node tree produced NaN")
+	}
+	m.Backward(1.0) // must not panic
+}

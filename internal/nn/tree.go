@@ -1,0 +1,86 @@
+package nn
+
+import "fmt"
+
+// Tree is a strictly binary tree of feature vectors, the input (and
+// intermediate representation) of tree convolution. Nodes are stored in a
+// flat array; Left[i] and Right[i] are node indices or -1 when the child is
+// absent. Feat is row-major N×D.
+//
+// Bao binarizes query plan trees before building a Tree, so in practice
+// every node has either zero or two children, but the layers tolerate
+// one-child nodes by treating the missing child as a zero vector.
+type Tree struct {
+	N     int // number of nodes
+	D     int // feature dimension per node
+	Feat  []float64
+	Left  []int
+	Right []int
+}
+
+// NewTree allocates a tree with n nodes of dimension d and all children
+// unset (-1).
+func NewTree(n, d int) *Tree {
+	t := &Tree{N: n, D: d, Feat: make([]float64, n*d),
+		Left: make([]int, n), Right: make([]int, n)}
+	for i := range t.Left {
+		t.Left[i] = -1
+		t.Right[i] = -1
+	}
+	return t
+}
+
+// Row returns the feature vector of node i (a slice aliasing Feat).
+func (t *Tree) Row(i int) []float64 { return t.Feat[i*t.D : i*t.D+t.D] }
+
+// WithFeatures returns a tree sharing this tree's shape but carrying a new
+// feature matrix of dimension d. Layers use it to produce outputs without
+// copying the topology.
+func (t *Tree) WithFeatures(d int, feat []float64) *Tree {
+	if len(feat) != t.N*d {
+		panic(fmt.Sprintf("nn: feature matrix size %d != %d nodes × %d dims", len(feat), t.N, d))
+	}
+	return &Tree{N: t.N, D: d, Feat: feat, Left: t.Left, Right: t.Right}
+}
+
+// Validate checks structural invariants: child indices in range, no node is
+// its own child, and no node is referenced as a child twice. It returns an
+// error describing the first violation.
+func (t *Tree) Validate() error {
+	if t.N <= 0 {
+		return fmt.Errorf("nn: tree has %d nodes", t.N)
+	}
+	if len(t.Feat) != t.N*t.D {
+		return fmt.Errorf("nn: feature matrix size %d != %d×%d", len(t.Feat), t.N, t.D)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < t.N; i++ {
+		for _, c := range [2]int{t.Left[i], t.Right[i]} {
+			if c == -1 {
+				continue
+			}
+			if c < 0 || c >= t.N {
+				return fmt.Errorf("nn: node %d has out-of-range child %d", i, c)
+			}
+			if c == i {
+				return fmt.Errorf("nn: node %d is its own child", i)
+			}
+			if seen[c] {
+				return fmt.Errorf("nn: node %d referenced as child twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// IsBinary reports whether every node has exactly zero or two children —
+// the property Bao's plan binarization guarantees.
+func (t *Tree) IsBinary() bool {
+	for i := 0; i < t.N; i++ {
+		if (t.Left[i] == -1) != (t.Right[i] == -1) {
+			return false
+		}
+	}
+	return true
+}

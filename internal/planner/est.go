@@ -1,0 +1,219 @@
+package planner
+
+import (
+	"bao/internal/catalog"
+	"bao/internal/stats"
+	"bao/internal/storage"
+)
+
+// Cost model constants, following PostgreSQL's defaults. Costs are in
+// abstract "page fetch" units.
+const (
+	seqPageCost       = 1.0
+	randPageCost      = 4.0
+	cpuTupleCost      = 0.01
+	cpuIndexTupleCost = 0.005
+	cpuOperatorCost   = 0.0025
+	// disablePenalty is added to the cost of operators whose enable_* hint
+	// is off. Like PostgreSQL's disable_cost, it discourages rather than
+	// forbids, so a plan always exists even with everything "disabled".
+	disablePenalty = 1e8
+)
+
+// StatsProvider supplies per-table statistics to the optimizer. The engine
+// implements it; tests can supply fakes.
+type StatsProvider interface {
+	TableStats(table string) *stats.TableStats
+}
+
+// filterSel estimates one filter's selectivity from column statistics using
+// the same per-clause logic PostgreSQL applies.
+func filterSel(cs *stats.ColumnStats, f *Filter) float64 {
+	if cs == nil {
+		return 0.1
+	}
+	switch f.Kind {
+	case FEq:
+		return clampSel(cs.SelEq(f.Val))
+	case FNe:
+		return clampSel(1 - cs.SelEq(f.Val) - cs.NullFrac)
+	case FRange:
+		lo, hi := rangeBounds(f)
+		return clampSel(cs.SelRange(lo, hi))
+	case FIn:
+		s := 0.0
+		for _, v := range f.Vals {
+			s += cs.SelEq(v)
+		}
+		return clampSel(s)
+	}
+	return 0.1
+}
+
+// rangeBounds converts a canonical range filter into the inclusive bounds
+// the histogram API expects; strict integer bounds are tightened by one.
+func rangeBounds(f *Filter) (lo, hi *storage.Value) {
+	if f.Lo != nil {
+		v := f.Lo.V
+		if !f.Lo.Incl && v.Kind == catalog.Int {
+			v = storage.IntVal(v.I + 1)
+		}
+		lo = &v
+	}
+	if f.Hi != nil {
+		v := f.Hi.V
+		if !f.Hi.Incl && v.Kind == catalog.Int {
+			v = storage.IntVal(v.I - 1)
+		}
+		hi = &v
+	}
+	return lo, hi
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-7 {
+		return 1e-7
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// scanSel estimates the combined selectivity of all filters on a scan.
+// Without sampling it multiplies per-clause selectivities (the
+// attribute-value-independence assumption, PostgreSQL's behaviour and the
+// planted source of under-estimation on correlated columns). With sampling
+// (ComSys grade) it evaluates the conjunction on the table's row sample,
+// which captures correlation.
+func (o *Optimizer) scanSel(si *ScanInfo, ts *stats.TableStats) float64 {
+	if len(si.Filters) == 0 {
+		return 1
+	}
+	if o.Sampling && len(ts.Sample) > 0 && len(si.Filters) > 1 {
+		match := 0
+		for _, row := range ts.Sample {
+			ok := true
+			for i := range si.Filters {
+				f := &si.Filters[i]
+				ci := si.Meta.ColumnIndex(f.Col)
+				if ci == -1 || !f.Matches(row[ci]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				match++
+			}
+		}
+		if match > 0 {
+			return clampSel(float64(match) / float64(len(ts.Sample)))
+		}
+		// Zero sample matches: fall through to the analytic estimate, which
+		// handles very selective predicates better than 0.
+	}
+	sel := 1.0
+	for i := range si.Filters {
+		sel *= filterSel(ts.Cols[colName(si, si.Filters[i].Col)], &si.Filters[i])
+	}
+	return clampSel(sel)
+}
+
+// colName maps a lower-cased filter column back to the catalog's exact
+// column name for stats lookup.
+func colName(si *ScanInfo, col string) string {
+	ci := si.Meta.ColumnIndex(col)
+	if ci == -1 {
+		return col
+	}
+	return si.Meta.Columns[ci].Name
+}
+
+// edgeSel estimates an equi-join predicate's selectivity: 1/max(NDV_l,
+// NDV_r), the textbook formula PostgreSQL uses. Both estimation grades use
+// it — the ComSys grade improves conjunctive filter estimation (see
+// scanSel) but, like real commercial optimizers, still mis-estimates
+// skewed filtered joins; that residual tail is the headroom behind the
+// paper's ~20% ComSys improvement (versus ~50% on PostgreSQL).
+func (o *Optimizer) edgeSel(q *Query, e JoinEdge) float64 {
+	ls, rs := q.Scans[e.L], q.Scans[e.R]
+	lts := o.Stats.TableStats(ls.Table)
+	rts := o.Stats.TableStats(rs.Table)
+	var ndvL, ndvR float64 = 100, 100
+	if lts != nil {
+		if cs := lts.Cols[colName(ls, e.LCol)]; cs != nil && cs.NDV > 0 {
+			ndvL = cs.NDV
+		}
+	}
+	if rts != nil {
+		if cs := rts.Cols[colName(rs, e.RCol)]; cs != nil && cs.NDV > 0 {
+			ndvR = cs.NDV
+		}
+	}
+	m := ndvL
+	if ndvR > m {
+		m = ndvR
+	}
+	return clampSel(1 / m)
+}
+
+// sampleJoinSel joins the two relations' samples under their scan filters
+// and scales the match count into a selectivity. Returns ok=false when the
+// samples are too small to say anything (no qualifying rows on a side).
+func (o *Optimizer) sampleJoinSel(ls, rs *ScanInfo, e JoinEdge, lts, rts *stats.TableStats) (float64, bool) {
+	lci := ls.Meta.ColumnIndex(e.LCol)
+	rci := rs.Meta.ColumnIndex(e.RCol)
+	if lci == -1 || rci == -1 {
+		return 0, false
+	}
+	filterRows := func(si *ScanInfo, sample []storage.Row) []storage.Row {
+		if len(si.Filters) == 0 {
+			return sample
+		}
+		var out []storage.Row
+		for _, row := range sample {
+			ok := true
+			for i := range si.Filters {
+				ci := si.Meta.ColumnIndex(si.Filters[i].Col)
+				if ci == -1 || !si.Filters[i].Matches(row[ci]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, row)
+			}
+		}
+		return out
+	}
+	lrows := filterRows(ls, lts.Sample)
+	rrows := filterRows(rs, rts.Sample)
+	const minTrustedRows = 100
+	if len(lrows) < minTrustedRows || len(rrows) < minTrustedRows {
+		return 0, false
+	}
+	// Hash the smaller side.
+	counts := make(map[string]int)
+	for _, row := range rrows {
+		v := row[rci]
+		if v.Null {
+			continue
+		}
+		counts[v.String()]++
+	}
+	matches := 0
+	for _, row := range lrows {
+		v := row[lci]
+		if v.Null {
+			continue
+		}
+		matches += counts[v.String()]
+	}
+	if matches == 0 {
+		return 0, false
+	}
+	// The selectivity denominator is qualifying-pairs, so divide by the
+	// filtered sample sizes: downstream code multiplies by filtered row
+	// estimates.
+	return clampSel(float64(matches) / (float64(len(lrows)) * float64(len(rrows)))), true
+}

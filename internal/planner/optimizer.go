@@ -1,0 +1,548 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"bao/internal/catalog"
+	"bao/internal/sqlparser"
+)
+
+// Hints is a set of boolean optimizer flags, PostgreSQL's enable_* GUCs.
+// True means the operator class is enabled. The zero value disables
+// everything; use AllOn for the default configuration.
+type Hints struct {
+	HashJoin      bool
+	MergeJoin     bool
+	NestLoop      bool
+	SeqScan       bool
+	IndexScan     bool
+	IndexOnlyScan bool
+}
+
+// AllOn returns the default hint set with every operator enabled — the
+// unhinted optimizer.
+func AllOn() Hints {
+	return Hints{HashJoin: true, MergeJoin: true, NestLoop: true,
+		SeqScan: true, IndexScan: true, IndexOnlyScan: true}
+}
+
+// SQL renders the hint set as the SET statements a DBA would issue, used by
+// advisor-mode EXPLAIN output (Figure 6 of the paper).
+func (h Hints) SQL() string {
+	var parts []string
+	add := func(on bool, name string) {
+		if !on {
+			parts = append(parts, fmt.Sprintf("SET enable_%s TO off;", name))
+		}
+	}
+	add(h.HashJoin, "hashjoin")
+	add(h.MergeJoin, "mergejoin")
+	add(h.NestLoop, "nestloop")
+	add(h.SeqScan, "seqscan")
+	add(h.IndexScan, "indexscan")
+	add(h.IndexOnlyScan, "indexonlyscan")
+	if len(parts) == 0 {
+		return "(no hints: default optimizer)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Optimizer is a Selinger-style cost-based planner over the analyzed query.
+// Sampling switches on the ComSys-grade correlation-aware estimation.
+type Optimizer struct {
+	Schema   *catalog.Schema
+	Stats    StatsProvider
+	Sampling bool
+	// LastCandidates counts join candidates costed during the most recent
+	// Plan call; the cloud clock converts it into optimization time.
+	LastCandidates int
+}
+
+// Plan produces the cheapest physical plan for the query under the hints.
+func (o *Optimizer) Plan(q *Query, h Hints) (*Node, error) {
+	k := len(q.Scans)
+	if k == 0 {
+		return nil, fmt.Errorf("planner: no relations")
+	}
+	if k > 16 {
+		return nil, fmt.Errorf("planner: %d relations exceeds the enumeration limit", k)
+	}
+	o.LastCandidates = 0
+
+	// Per-relation filtered cardinalities and per-edge selectivities.
+	filtered := make([]float64, k)
+	for i, si := range q.Scans {
+		ts := o.Stats.TableStats(si.Table)
+		if ts == nil {
+			return nil, fmt.Errorf("planner: no statistics for table %s (run ANALYZE)", si.Table)
+		}
+		filtered[i] = math.Max(float64(ts.Rows)*o.scanSel(si, ts), 0.5)
+	}
+	edgeSels := make([]float64, len(q.Edges))
+	for i, e := range q.Edges {
+		edgeSels[i] = o.edgeSel(q, e)
+	}
+	// Joint cardinality per relation subset (order-independent).
+	rowsOf := func(mask uint32) float64 {
+		r := 1.0
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				r *= filtered[i]
+			}
+		}
+		for i, e := range q.Edges {
+			if mask&(1<<e.L) != 0 && mask&(1<<e.R) != 0 {
+				r *= edgeSels[i]
+			}
+		}
+		return math.Max(r, 0.5)
+	}
+
+	best := make([]*Node, 1<<k)
+	for i, si := range q.Scans {
+		n, err := o.bestScan(si, h, filtered[i])
+		if err != nil {
+			return nil, err
+		}
+		best[1<<i] = n
+	}
+
+	full := uint32(1<<k) - 1
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue
+		}
+		joinRows := rowsOf(mask)
+		// Enumerate ordered (left, right) partitions.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			left, right := best[sub], best[other]
+			if left == nil || right == nil {
+				continue
+			}
+			cand := o.joinCandidates(q, h, left, right, sub, other, joinRows, filtered, edgeSels)
+			if cand != nil && (best[mask] == nil || cand.EstCost < best[mask].EstCost) {
+				best[mask] = cand
+			}
+		}
+	}
+	root := best[full]
+	if root == nil {
+		return nil, fmt.Errorf("planner: no join path found (disconnected join graph)")
+	}
+	return o.buildTop(q, root)
+}
+
+// bestScan picks the cheapest access path for one relation under the hints.
+func (o *Optimizer) bestScan(si *ScanInfo, h Hints, estRows float64) (*Node, error) {
+	ts := o.Stats.TableStats(si.Table)
+	cols := make([]OutCol, len(si.Needed))
+	for i, name := range si.Needed {
+		ci := si.Meta.ColumnIndex(name)
+		cols[i] = OutCol{Alias: si.Alias, Name: name, Type: si.Meta.Columns[ci].Type}
+	}
+	baseRows := float64(ts.Rows)
+	pages := float64(ts.Pages)
+
+	var cands []*Node
+
+	// Sequential scan is always available.
+	seq := &Node{Op: OpSeqScan, Table: si.Table, Alias: si.Alias,
+		Filters: si.Filters, Cols: cols, EstRows: estRows, SortedBy: -1}
+	seq.EstCost = pages*seqPageCost + baseRows*cpuTupleCost +
+		baseRows*float64(len(si.Filters))*cpuOperatorCost
+	if !h.SeqScan {
+		seq.EstCost += disablePenalty
+	}
+	cands = append(cands, seq)
+
+	// Index scans: one per filter on an indexed column.
+	for fi := range si.Filters {
+		f := &si.Filters[fi]
+		if f.Kind != FEq && f.Kind != FRange {
+			continue
+		}
+		if _, ok := o.Schema.IndexOn(si.Table, f.Col); !ok {
+			continue
+		}
+		cs := ts.Cols[colName(si, f.Col)]
+		idxSel := filterSel(cs, f)
+		matched := math.Max(baseRows*idxSel, 0.5)
+		rest := make([]Filter, 0, len(si.Filters)-1)
+		for fj := range si.Filters {
+			if fj != fi {
+				rest = append(rest, si.Filters[fj])
+			}
+		}
+		ix := &Node{Op: OpIndexScan, Table: si.Table, Alias: si.Alias,
+			IndexCol: f.Col, IndexFilter: f, Filters: rest, Cols: cols,
+			EstRows: estRows, SortedBy: outPos(si, f.Col)}
+		ix.EstCost = math.Log2(baseRows+2)*cpuOperatorCost*4 +
+			matched*cpuIndexTupleCost +
+			matched*randPageCost +
+			matched*(float64(len(rest))*cpuOperatorCost+cpuTupleCost)
+		if !h.IndexScan {
+			ix.EstCost += disablePenalty
+		}
+		cands = append(cands, ix)
+
+		// Index-only scan: the index alone can answer the scan when every
+		// needed column and every filter touches only the indexed column.
+		if coveredByIndex(si, f.Col) {
+			ixPages := matched/float64(catalogIndexFanout) + 1
+			io := &Node{Op: OpIndexOnlyScan, Table: si.Table, Alias: si.Alias,
+				IndexCol: f.Col, IndexFilter: f, Filters: rest, Cols: cols,
+				EstRows: estRows, SortedBy: outPos(si, f.Col)}
+			io.EstCost = math.Log2(baseRows+2)*cpuOperatorCost*4 +
+				matched*cpuIndexTupleCost + ixPages*seqPageCost
+			if !h.IndexOnlyScan {
+				io.EstCost += disablePenalty
+			}
+			cands = append(cands, io)
+		}
+	}
+
+	// Unfiltered full-index scans provide sorted output (useful under merge
+	// joins); heap fetches make them expensive, so they rarely win unless
+	// sorting is worth avoiding.
+	for _, col := range si.Needed {
+		if _, ok := o.Schema.IndexOn(si.Table, col); !ok {
+			continue
+		}
+		if si.IndexedFilterOn(col) {
+			continue // already considered above with the filter
+		}
+		ix := &Node{Op: OpIndexScan, Table: si.Table, Alias: si.Alias,
+			IndexCol: col, Filters: si.Filters, Cols: cols,
+			EstRows: estRows, SortedBy: outPos(si, col)}
+		ix.EstCost = baseRows*cpuIndexTupleCost + baseRows*randPageCost +
+			baseRows*(float64(len(si.Filters))*cpuOperatorCost+cpuTupleCost)
+		if !h.IndexScan {
+			ix.EstCost += disablePenalty
+		}
+		if coveredByIndex(si, col) {
+			io := *ix
+			io.Op = OpIndexOnlyScan
+			io.EstCost = baseRows*cpuIndexTupleCost + baseRows/float64(catalogIndexFanout)*seqPageCost
+			if !h.IndexOnlyScan {
+				io.EstCost += disablePenalty
+			}
+			cands = append(cands, &io)
+		}
+		cands = append(cands, ix)
+	}
+
+	bestN := cands[0]
+	for _, c := range cands[1:] {
+		if c.EstCost < bestN.EstCost {
+			bestN = c
+		}
+	}
+	return bestN, nil
+}
+
+// catalogIndexFanout mirrors storage.IndexEntriesPerPage without importing
+// it into cost arithmetic everywhere.
+const catalogIndexFanout = 256
+
+// IndexedFilterOn reports whether the scan has an eq/range filter on col.
+func (si *ScanInfo) IndexedFilterOn(col string) bool {
+	for i := range si.Filters {
+		if si.Filters[i].Col == col && (si.Filters[i].Kind == FEq || si.Filters[i].Kind == FRange) {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredByIndex reports whether an index on col alone can satisfy the scan
+// (all needed outputs and all filters are on col).
+func coveredByIndex(si *ScanInfo, col string) bool {
+	for _, n := range si.Needed {
+		if n != col {
+			return false
+		}
+	}
+	for i := range si.Filters {
+		if si.Filters[i].Col != col {
+			return false
+		}
+	}
+	return true
+}
+
+// outPos finds col's position in the scan's output, or -1.
+func outPos(si *ScanInfo, col string) int {
+	for i, n := range si.Needed {
+		if n == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinCandidates costs every legal join operator for (left ⋈ right) and
+// returns the cheapest, or nil when no join edge crosses the partition.
+func (o *Optimizer) joinCandidates(q *Query, h Hints, left, right *Node,
+	lmask, rmask uint32, joinRows float64, filtered, edgeSels []float64) *Node {
+	var best *Node
+	for _, c := range o.joinCandidatesByOp(q, h, left, right, lmask, rmask, joinRows, filtered, edgeSels) {
+		o.LastCandidates++
+		if best == nil || c.EstCost < best.EstCost {
+			best = c
+		}
+	}
+	return best
+}
+
+// joinCandidatesByOp constructs every legal join candidate for
+// (left ⋈ right): hash, merge (with sorts as needed), naive nested loop,
+// and a parameterized index nested loop when the inner side is a single
+// indexed relation.
+func (o *Optimizer) joinCandidatesByOp(q *Query, h Hints, left, right *Node,
+	lmask, rmask uint32, joinRows float64, filtered, edgeSels []float64) []*Node {
+
+	// Collect crossing edges, normalized so the left key is in `left`.
+	type key struct {
+		lk, rk int
+		edge   int
+		rCol   string // join column name on the right side
+		rRel   int
+	}
+	var keys []key
+	for ei, e := range q.Edges {
+		var lRel, rRel int
+		var lCol, rCol string
+		switch {
+		case lmask&(1<<e.L) != 0 && rmask&(1<<e.R) != 0:
+			lRel, rRel, lCol, rCol = e.L, e.R, e.LCol, e.RCol
+		case lmask&(1<<e.R) != 0 && rmask&(1<<e.L) != 0:
+			lRel, rRel, lCol, rCol = e.R, e.L, e.RCol, e.LCol
+		default:
+			continue
+		}
+		lk := left.ColIndex(q.Scans[lRel].Alias, lCol)
+		rk := right.ColIndex(q.Scans[rRel].Alias, rCol)
+		if lk == -1 || rk == -1 {
+			continue
+		}
+		keys = append(keys, key{lk: lk, rk: rk, edge: ei, rCol: rCol, rRel: rRel})
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	lks := make([]int, len(keys))
+	rks := make([]int, len(keys))
+	for i, kk := range keys {
+		lks[i], rks[i] = kk.lk, kk.rk
+	}
+	outCols := append(append([]OutCol{}, left.Cols...), right.Cols...)
+
+	var cands []*Node
+	consider := func(n *Node) { cands = append(cands, n) }
+
+	// Hash join: build the right (inner) side, probe with the left.
+	hj := &Node{Op: OpHashJoin, Left: left, Right: right,
+		LeftKeys: lks, RightKeys: rks, Cols: outCols, EstRows: joinRows, SortedBy: -1}
+	hj.EstCost = left.EstCost + right.EstCost +
+		right.EstRows*cpuOperatorCost*1.5 +
+		left.EstRows*cpuOperatorCost +
+		joinRows*cpuTupleCost
+	if !h.HashJoin {
+		hj.EstCost += disablePenalty
+	}
+	consider(hj)
+
+	// Merge join on the first key; extra keys are checked during the merge.
+	ml := sortedInput(left, lks[0])
+	mr := sortedInput(right, rks[0])
+	mj := &Node{Op: OpMergeJoin, Left: ml, Right: mr,
+		LeftKeys: lks, RightKeys: rks, Cols: outCols, EstRows: joinRows,
+		SortedBy: lks[0]}
+	mj.EstCost = ml.EstCost + mr.EstCost +
+		(left.EstRows+right.EstRows)*cpuOperatorCost +
+		joinRows*cpuTupleCost
+	if !h.MergeJoin {
+		mj.EstCost += disablePenalty
+	}
+	consider(mj)
+
+	// Naive nested loop: rescan the inner for every outer row. Looks cheap
+	// exactly when the outer cardinality is under-estimated — the paper's
+	// 16b failure mode.
+	nl := &Node{Op: OpNestLoop, Left: left, Right: right,
+		LeftKeys: lks, RightKeys: rks, Cols: outCols, EstRows: joinRows, SortedBy: -1}
+	nl.EstCost = left.EstCost + math.Max(left.EstRows, 1)*right.EstCost +
+		left.EstRows*right.EstRows*cpuOperatorCost +
+		joinRows*cpuTupleCost
+	if !h.NestLoop {
+		nl.EstCost += disablePenalty
+	}
+	consider(nl)
+
+	// Index nested loop: when the inner side is a single base relation with
+	// an index on a join column, probe it per outer row.
+	if bits.OnesCount32(rmask) == 1 {
+		for _, kk := range keys {
+			si := q.Scans[kk.rRel]
+			if _, ok := o.Schema.IndexOn(si.Table, kk.rCol); !ok {
+				continue
+			}
+			ts := o.Stats.TableStats(si.Table)
+			baseRows := float64(ts.Rows)
+			perProbe := math.Max(filtered[kk.rRel]*edgeSels[kk.edge], 1e-4)
+			probeCost := math.Log2(baseRows+2)*cpuOperatorCost*4 +
+				perProbe*(cpuIndexTupleCost+randPageCost+cpuTupleCost+
+					float64(len(si.Filters))*cpuOperatorCost)
+			inner := &Node{Op: OpIndexScan, Table: si.Table, Alias: si.Alias,
+				IndexCol: kk.rCol, Filters: si.Filters, Cols: right.Cols,
+				EstRows: perProbe, EstCost: probeCost, SortedBy: -1, Param: true}
+			inl := &Node{Op: OpNestLoop, Left: left, Right: inner,
+				LeftKeys: lks, RightKeys: rks, Cols: outCols,
+				EstRows: joinRows, SortedBy: -1}
+			inl.EstCost = left.EstCost + math.Max(left.EstRows, 1)*probeCost +
+				joinRows*cpuTupleCost
+			if !h.NestLoop {
+				inl.EstCost += disablePenalty
+			}
+			if !h.IndexScan {
+				inl.EstCost += disablePenalty
+			}
+			consider(inl)
+			break // one parameterized-index candidate is enough
+		}
+	}
+	return cands
+}
+
+// sortedInput wraps a child in a Sort node when it is not already ordered
+// by the merge key.
+func sortedInput(n *Node, keyPos int) *Node {
+	if n.SortedBy == keyPos {
+		return n
+	}
+	rows := math.Max(n.EstRows, 2)
+	s := &Node{Op: OpSort, Left: n, SortCols: []int{keyPos},
+		SortDesc: []bool{false}, Cols: n.Cols, EstRows: n.EstRows,
+		SortedBy: keyPos}
+	s.EstCost = n.EstCost + 2*rows*math.Log2(rows)*cpuOperatorCost + rows*cpuTupleCost
+	return s
+}
+
+// buildTop adds aggregation, ordering, projection, and limit above the join
+// tree, producing the final plan.
+func (o *Optimizer) buildTop(q *Query, root *Node) (*Node, error) {
+	if q.HasAgg {
+		agg := &Node{Op: OpAggregate, Left: root, SortedBy: -1}
+		groupNDV := 1.0
+		for _, g := range q.Groups {
+			pos := root.ColIndex(q.Scans[g.Rel].Alias, g.Col)
+			if pos == -1 {
+				return nil, fmt.Errorf("planner: internal: group key %s.%s missing from join output", q.Scans[g.Rel].Alias, g.Col)
+			}
+			agg.GroupCols = append(agg.GroupCols, pos)
+			agg.Cols = append(agg.Cols, root.Cols[pos])
+			if ts := o.Stats.TableStats(q.Scans[g.Rel].Table); ts != nil {
+				if cs := ts.Cols[colName(q.Scans[g.Rel], g.Col)]; cs != nil && cs.NDV > 0 {
+					groupNDV *= cs.NDV
+				}
+			}
+		}
+		for _, out := range q.Outputs {
+			if out.Agg == sqlparser.AggNone {
+				continue
+			}
+			spec := AggSpec{Func: out.Agg, Col: -1}
+			name := strings.ToLower(out.Agg.String()) + "(*)"
+			typ := catalog.Int
+			if !out.Star {
+				pos := root.ColIndex(q.Scans[out.Rel].Alias, out.Col)
+				if pos == -1 {
+					return nil, fmt.Errorf("planner: internal: aggregate input %s missing", out.Col)
+				}
+				spec.Col = pos
+				name = strings.ToLower(out.Agg.String()) + "(" + out.Col + ")"
+				if out.Agg == sqlparser.AggMin || out.Agg == sqlparser.AggMax {
+					typ = root.Cols[pos].Type
+				}
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+			agg.Cols = append(agg.Cols, OutCol{Alias: "", Name: name, Type: typ})
+		}
+		outRows := math.Min(math.Max(groupNDV, 1), root.EstRows)
+		if len(q.Groups) == 0 {
+			outRows = 1
+		}
+		agg.EstRows = outRows
+		agg.EstCost = root.EstCost +
+			root.EstRows*float64(len(agg.GroupCols)+len(agg.Aggs))*cpuOperatorCost +
+			outRows*cpuTupleCost
+		root = agg
+	}
+
+	if len(q.Orders) > 0 {
+		sort := &Node{Op: OpSort, Left: root, Cols: root.Cols,
+			EstRows: root.EstRows, SortedBy: -1}
+		for _, ok := range q.Orders {
+			var pos int
+			if q.HasAgg {
+				pos = -1
+				for gi, g := range q.Groups {
+					if g.Rel == ok.Rel && g.Col == ok.Col {
+						pos = gi
+						break
+					}
+				}
+			} else {
+				pos = root.ColIndex(q.Scans[ok.Rel].Alias, ok.Col)
+			}
+			if pos == -1 {
+				return nil, fmt.Errorf("planner: internal: order key %s missing", ok.Col)
+			}
+			sort.SortCols = append(sort.SortCols, pos)
+			sort.SortDesc = append(sort.SortDesc, ok.Desc)
+		}
+		rows := math.Max(root.EstRows, 2)
+		sort.EstCost = root.EstCost + 2*rows*math.Log2(rows)*cpuOperatorCost + rows*cpuTupleCost
+		root = sort
+	}
+
+	// Final projection into select-list order.
+	proj := &Node{Op: OpProject, Left: root, EstRows: root.EstRows, SortedBy: -1}
+	aggSeen := 0
+	for _, out := range q.Outputs {
+		var pos int
+		if out.Agg != sqlparser.AggNone {
+			pos = len(q.Groups) + aggSeen
+			aggSeen++
+		} else if q.HasAgg {
+			pos = -1
+			for gi, g := range q.Groups {
+				if g.Rel == out.Rel && g.Col == out.Col {
+					pos = gi
+					break
+				}
+			}
+		} else {
+			pos = root.ColIndex(q.Scans[out.Rel].Alias, out.Col)
+		}
+		if pos == -1 || pos >= len(root.Cols) {
+			return nil, fmt.Errorf("planner: internal: output %s unresolved", out.Col)
+		}
+		proj.Projection = append(proj.Projection, pos)
+		proj.Cols = append(proj.Cols, root.Cols[pos])
+	}
+	proj.EstCost = root.EstCost + root.EstRows*cpuTupleCost*0.1
+	root = proj
+
+	if q.Limit >= 0 {
+		lim := &Node{Op: OpLimit, Left: root, N: q.Limit, Cols: root.Cols,
+			EstRows: math.Min(float64(q.Limit), root.EstRows),
+			EstCost: root.EstCost, SortedBy: -1}
+		root = lim
+	}
+	return root, nil
+}

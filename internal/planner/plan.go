@@ -1,0 +1,313 @@
+// Package planner is the traditional cost-based query optimizer Bao steers:
+// semantic analysis, Selinger-style dynamic-programming join enumeration,
+// access-path selection, and a PostgreSQL-like cost model. Boolean hint
+// flags (enable_hashjoin, enable_mergejoin, enable_nestloop, enable_seqscan,
+// enable_indexscan, enable_indexonlyscan) penalize — never forbid — operator
+// classes, exactly like PostgreSQL's enable_* GUCs, so every hint set still
+// yields a semantically equivalent plan.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"bao/internal/catalog"
+	"bao/internal/sqlparser"
+	"bao/internal/storage"
+)
+
+// Op identifies a physical plan operator.
+type Op int
+
+// Physical operators. The one-hot operator encoding in Bao's vectorizer is
+// indexed by these values, so keep them dense.
+const (
+	OpSeqScan Op = iota
+	OpIndexScan
+	OpIndexOnlyScan
+	OpNestLoop
+	OpHashJoin
+	OpMergeJoin
+	OpSort
+	OpAggregate
+	OpProject
+	OpLimit
+	NumOps // sentinel: number of operator types
+)
+
+// String renders the operator as EXPLAIN shows it.
+func (o Op) String() string {
+	switch o {
+	case OpSeqScan:
+		return "Seq Scan"
+	case OpIndexScan:
+		return "Index Scan"
+	case OpIndexOnlyScan:
+		return "Index Only Scan"
+	case OpNestLoop:
+		return "Nested Loop"
+	case OpHashJoin:
+		return "Hash Join"
+	case OpMergeJoin:
+		return "Merge Join"
+	case OpSort:
+		return "Sort"
+	case OpAggregate:
+		return "Aggregate"
+	case OpProject:
+		return "Project"
+	case OpLimit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// OutCol names one column of a node's output schema.
+type OutCol struct {
+	Alias string // table alias the column came from
+	Name  string
+	Type  catalog.Type
+}
+
+// Bound is one side of a range filter.
+type Bound struct {
+	V    storage.Value
+	Incl bool
+}
+
+// FilterKind discriminates canonical filter forms.
+type FilterKind int
+
+// Filter kinds.
+const (
+	FEq FilterKind = iota
+	FNe
+	FRange
+	FIn
+)
+
+// Filter is a canonicalized single-column predicate, resolved to a column
+// name on a specific scan.
+type Filter struct {
+	Col  string
+	Kind FilterKind
+	Val  storage.Value // FEq / FNe
+	Lo   *Bound        // FRange
+	Hi   *Bound
+	Vals []storage.Value // FIn
+}
+
+// Matches evaluates the filter against a value.
+func (f *Filter) Matches(v storage.Value) bool {
+	if v.Null {
+		return false
+	}
+	switch f.Kind {
+	case FEq:
+		return v.Compare(f.Val) == 0
+	case FNe:
+		return v.Compare(f.Val) != 0
+	case FRange:
+		if f.Lo != nil {
+			c := v.Compare(f.Lo.V)
+			if c < 0 || (c == 0 && !f.Lo.Incl) {
+				return false
+			}
+		}
+		if f.Hi != nil {
+			c := v.Compare(f.Hi.V)
+			if c > 0 || (c == 0 && !f.Hi.Incl) {
+				return false
+			}
+		}
+		return true
+	case FIn:
+		for _, x := range f.Vals {
+			if v.Compare(x) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// String renders the filter for EXPLAIN.
+func (f *Filter) String() string {
+	switch f.Kind {
+	case FEq:
+		return fmt.Sprintf("%s = %s", f.Col, f.Val)
+	case FNe:
+		return fmt.Sprintf("%s <> %s", f.Col, f.Val)
+	case FRange:
+		var parts []string
+		if f.Lo != nil {
+			op := ">"
+			if f.Lo.Incl {
+				op = ">="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", f.Col, op, f.Lo.V))
+		}
+		if f.Hi != nil {
+			op := "<"
+			if f.Hi.Incl {
+				op = "<="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", f.Col, op, f.Hi.V))
+		}
+		return strings.Join(parts, " AND ")
+	case FIn:
+		vals := make([]string, len(f.Vals))
+		for i, v := range f.Vals {
+			vals[i] = v.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", f.Col, strings.Join(vals, ", "))
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate output of an Aggregate node.
+type AggSpec struct {
+	Func sqlparser.AggFunc
+	Col  int // input column position; -1 for COUNT(*)
+}
+
+// Node is a physical plan node. EstRows and EstCost carry the optimizer's
+// cardinality and total-cost estimates for this subtree — the two numeric
+// features Bao's vectorizer attaches to every tree node.
+type Node struct {
+	Op Op
+
+	// Scans.
+	Table       string
+	Alias       string
+	IndexCol    string   // index scans: indexed column
+	IndexFilter *Filter  // index scans: range condition driving the index
+	Filters     []Filter // residual filters evaluated at the scan
+	Param       bool     // index scans: probed per outer row under a nested loop
+
+	// Joins: equi-join key positions into the left and right child outputs.
+	// Parallel slices; multiple entries for multi-predicate joins.
+	LeftKeys, RightKeys []int
+
+	// Sort.
+	SortCols []int
+	SortDesc []bool
+
+	// Aggregate.
+	GroupCols []int
+	Aggs      []AggSpec
+
+	// Project: positions of the child's output to keep.
+	Projection []int
+
+	// Limit.
+	N int
+
+	Left, Right *Node
+
+	Cols     []OutCol
+	EstRows  float64
+	EstCost  float64
+	SortedBy int // output position rows are ordered by, or -1
+}
+
+// ColIndex finds the output position of alias.name, or -1.
+func (n *Node) ColIndex(alias, name string) int {
+	for i, c := range n.Cols {
+		if c.Alias == alias && c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsJoin reports whether the node is a join operator.
+func (n *Node) IsJoin() bool {
+	return n.Op == OpNestLoop || n.Op == OpHashJoin || n.Op == OpMergeJoin
+}
+
+// IsScan reports whether the node is a base-relation scan.
+func (n *Node) IsScan() bool {
+	return n.Op == OpSeqScan || n.Op == OpIndexScan || n.Op == OpIndexOnlyScan
+}
+
+// Walk visits the subtree in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	n.Left.Walk(fn)
+	n.Right.Walk(fn)
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *Node) Count() int {
+	c := 0
+	n.Walk(func(*Node) { c++ })
+	return c
+}
+
+// JoinOrderSignature renders the join tree's leaf ordering, used by the
+// §6.3 analysis of how often hint sets change join orders.
+func (n *Node) JoinOrderSignature() string {
+	switch {
+	case n == nil:
+		return ""
+	case n.IsScan():
+		return n.Alias
+	case n.IsJoin():
+		return "(" + n.Left.JoinOrderSignature() + " " + n.Right.JoinOrderSignature() + ")"
+	default:
+		return n.Left.JoinOrderSignature()
+	}
+}
+
+// Explain renders the plan in a PostgreSQL-like indented format.
+func (n *Node) Explain() string {
+	var sb strings.Builder
+	n.explain(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) explain(sb *strings.Builder, depth int) {
+	if n == nil {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	if depth > 0 {
+		sb.WriteString("-> ")
+	}
+	sb.WriteString(n.Op.String())
+	switch {
+	case n.IsScan():
+		fmt.Fprintf(sb, " on %s", n.Table)
+		if n.Alias != n.Table {
+			fmt.Fprintf(sb, " %s", n.Alias)
+		}
+		if n.IndexCol != "" {
+			fmt.Fprintf(sb, " using ix_%s_%s", n.Table, n.IndexCol)
+		}
+	case n.IsJoin():
+		if len(n.LeftKeys) > 0 {
+			conds := make([]string, len(n.LeftKeys))
+			for i := range n.LeftKeys {
+				conds[i] = fmt.Sprintf("%s.%s = %s.%s",
+					n.Left.Cols[n.LeftKeys[i]].Alias, n.Left.Cols[n.LeftKeys[i]].Name,
+					n.Right.Cols[n.RightKeys[i]].Alias, n.Right.Cols[n.RightKeys[i]].Name)
+			}
+			fmt.Fprintf(sb, " (%s)", strings.Join(conds, " AND "))
+		}
+	}
+	fmt.Fprintf(sb, "  (cost=%.2f rows=%.0f)\n", n.EstCost, n.EstRows)
+	for _, f := range n.Filters {
+		fmt.Fprintf(sb, "%s   Filter: %s\n", strings.Repeat("  ", depth), f.String())
+	}
+	if n.IndexFilter != nil {
+		fmt.Fprintf(sb, "%s   Index Cond: %s\n", strings.Repeat("  ", depth), n.IndexFilter.String())
+	}
+	n.Left.explain(sb, depth+1)
+	n.Right.explain(sb, depth+1)
+}

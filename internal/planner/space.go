@@ -1,0 +1,121 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// PlanSpace exposes the optimizer's plan-construction primitives — scan
+// candidates, typed join construction with cost/cardinality estimates, and
+// top-of-plan finishing — so learned optimizers that build whole plans
+// themselves (the Neo and DQ baselines) share the same physical algebra,
+// estimates, and executor as the native optimizer.
+type PlanSpace struct {
+	opt      *Optimizer
+	q        *Query
+	filtered []float64
+	edgeSels []float64
+}
+
+// NewSpace analyzes cardinalities for a query and returns its plan space.
+func (o *Optimizer) NewSpace(q *Query) (*PlanSpace, error) {
+	s := &PlanSpace{opt: o, q: q}
+	for _, si := range q.Scans {
+		ts := o.Stats.TableStats(si.Table)
+		if ts == nil {
+			return nil, fmt.Errorf("planner: no statistics for table %s", si.Table)
+		}
+		s.filtered = append(s.filtered, math.Max(float64(ts.Rows)*o.scanSel(si, ts), 0.5))
+	}
+	for _, e := range q.Edges {
+		s.edgeSels = append(s.edgeSels, o.edgeSel(q, e))
+	}
+	return s, nil
+}
+
+// NumRelations returns the relation count.
+func (s *PlanSpace) NumRelations() int { return len(s.q.Scans) }
+
+// Query returns the analyzed query.
+func (s *PlanSpace) Query() *Query { return s.q }
+
+// RowsOf estimates the joint cardinality of a relation subset.
+func (s *PlanSpace) RowsOf(mask uint32) float64 {
+	r := 1.0
+	for i := range s.q.Scans {
+		if mask&(1<<i) != 0 {
+			r *= s.filtered[i]
+		}
+	}
+	for i, e := range s.q.Edges {
+		if mask&(1<<e.L) != 0 && mask&(1<<e.R) != 0 {
+			r *= s.edgeSels[i]
+		}
+	}
+	return math.Max(r, 0.5)
+}
+
+// Scan returns the cheapest access path for one relation under the hints.
+func (s *PlanSpace) Scan(rel int, h Hints) (*Node, error) {
+	return s.opt.bestScan(s.q.Scans[rel], h, s.filtered[rel])
+}
+
+// Connected reports whether a join edge links the two subsets.
+func (s *PlanSpace) Connected(lmask, rmask uint32) bool {
+	for _, e := range s.q.Edges {
+		if (lmask&(1<<e.L) != 0 && rmask&(1<<e.R) != 0) ||
+			(lmask&(1<<e.R) != 0 && rmask&(1<<e.L) != 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Join constructs a join of the given operator over two subplans covering
+// the given relation masks, with keys resolved and estimates filled in.
+// For OpNestLoop with a single-relation right side it automatically uses a
+// parameterized index inner when one is available. Returns nil when no
+// join predicate connects the sides or the operator cannot apply.
+func (s *PlanSpace) Join(op Op, left, right *Node, lmask, rmask uint32) *Node {
+	joinRows := s.RowsOf(lmask | rmask)
+	all := AllOn()
+	cands := s.opt.joinCandidatesByOp(s.q, all, left, right, lmask, rmask, joinRows, s.filtered, s.edgeSels)
+	var best *Node
+	for _, c := range cands {
+		if c.Op != op {
+			continue
+		}
+		if best == nil || c.EstCost < best.EstCost {
+			best = c
+		}
+	}
+	return best
+}
+
+// Finish adds aggregation, ordering, projection, and limit on top of a
+// completed join tree.
+func (s *PlanSpace) Finish(root *Node) (*Node, error) {
+	if bits.OnesCount32(s.coverage(root)) != len(s.q.Scans) {
+		return nil, fmt.Errorf("planner: plan does not cover all relations")
+	}
+	return s.opt.buildTop(s.q, root)
+}
+
+// coverage computes which relations a subtree covers.
+func (s *PlanSpace) coverage(n *Node) uint32 {
+	var mask uint32
+	n.Walk(func(x *Node) {
+		if x.IsScan() {
+			for i, si := range s.q.Scans {
+				if si.Alias == x.Alias {
+					mask |= 1 << i
+				}
+			}
+		}
+	})
+	return mask
+}
+
+// Coverage is the exported form of coverage for search code.
+func (s *PlanSpace) Coverage(n *Node) uint32 { return s.coverage(n) }

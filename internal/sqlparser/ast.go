@@ -1,0 +1,251 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query in the supported subset. WHERE is a
+// conjunction of simple predicates.
+type SelectStmt struct {
+	Select  []SelectExpr
+	From    []TableRef
+	Where   []Predicate
+	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// ExplainStmt wraps a SELECT for plan display.
+type ExplainStmt struct {
+	Query   *SelectStmt
+	Analyze bool
+}
+
+func (*ExplainStmt) stmt() {}
+
+// SetStmt is SET name TO value / SET name = value; the engine interprets
+// the variable (e.g. enable_nestloop, enable_bao).
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String renders the SQL name of the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return ""
+	}
+}
+
+// SelectExpr is one output expression: a column, an aggregate over a column
+// (or COUNT(*)), or a bare *.
+type SelectExpr struct {
+	Agg  AggFunc
+	Col  ColRef // zero value with Star for COUNT(*) / SELECT *
+	Star bool
+}
+
+// ColRef names a column, optionally qualified by table name or alias.
+type ColRef struct {
+	Table  string // alias or table name; may be empty
+	Column string
+}
+
+// String renders the reference as it appeared.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef is an entry in the FROM list.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// CmpOp is a comparison operator in a filter predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Literal is a constant in a predicate or VALUES row.
+type Literal struct {
+	IsStr bool
+	Str   string
+	Int   int64
+	Null  bool // NULL literal (VALUES rows only)
+}
+
+// String renders the literal in SQL syntax.
+func (l Literal) String() string {
+	if l.Null {
+		return "NULL"
+	}
+	if l.IsStr {
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+	return fmt.Sprintf("%d", l.Int)
+}
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate interface{ pred() }
+
+// JoinPred is left = right between two column references.
+type JoinPred struct {
+	Left, Right ColRef
+}
+
+func (JoinPred) pred() {}
+
+// FilterPred is column <op> literal.
+type FilterPred struct {
+	Col ColRef
+	Op  CmpOp
+	Val Literal
+}
+
+func (FilterPred) pred() {}
+
+// BetweenPred is column BETWEEN lo AND hi (inclusive).
+type BetweenPred struct {
+	Col    ColRef
+	Lo, Hi Literal
+}
+
+func (BetweenPred) pred() {}
+
+// InPred is column IN (v1, v2, ...).
+type InPred struct {
+	Col  ColRef
+	Vals []Literal
+}
+
+func (InPred) pred() {}
+
+// String renders the statement back to SQL (used by templates, EXPLAIN
+// headers, and tests).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, e := range s.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case e.Agg != AggNone && e.Star:
+			sb.WriteString(e.Agg.String() + "(*)")
+		case e.Agg != AggNone:
+			sb.WriteString(e.Agg.String() + "(" + e.Col.String() + ")")
+		case e.Star:
+			sb.WriteString("*")
+		default:
+			sb.WriteString(e.Col.String())
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.Name)
+		if t.Alias != "" && !strings.EqualFold(t.Alias, t.Name) {
+			sb.WriteString(" AS " + t.Alias)
+		}
+	}
+	if len(s.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range s.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			switch q := p.(type) {
+			case JoinPred:
+				sb.WriteString(q.Left.String() + " = " + q.Right.String())
+			case FilterPred:
+				sb.WriteString(q.Col.String() + " " + q.Op.String() + " " + q.Val.String())
+			case BetweenPred:
+				sb.WriteString(q.Col.String() + " BETWEEN " + q.Lo.String() + " AND " + q.Hi.String())
+			case InPred:
+				parts := make([]string, len(q.Vals))
+				for j, v := range q.Vals {
+					parts[j] = v.String()
+				}
+				sb.WriteString(q.Col.String() + " IN (" + strings.Join(parts, ", ") + ")")
+			}
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(cols, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		items := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			items[i] = o.Col.String()
+			if o.Desc {
+				items[i] += " DESC"
+			}
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(items, ", "))
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package sqlparser
+
+import "fmt"
+
+// ColumnDef is one column in a CREATE TABLE statement.
+type ColumnDef struct {
+	Name string
+	Type string // "int" or "text" (normalized lower-case)
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name string
+	Cols []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (column).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// InsertStmt is INSERT INTO table VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Literal
+}
+
+func (*InsertStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+func (*DropTableStmt) stmt() {}
+
+// AnalyzeStmt is ANALYZE [table]; an empty Table means all tables.
+type AnalyzeStmt struct {
+	Table string
+}
+
+func (*AnalyzeStmt) stmt() {}
+
+// parseCreate handles CREATE TABLE and CREATE INDEX.
+func (p *parser) parseCreate() (Statement, error) {
+	switch {
+	case p.acceptKeyword("table"):
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errorf("expected table name, got %q", name.raw)
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		st := &CreateTableStmt{Name: name.text}
+		for {
+			cn := p.next()
+			if cn.kind != tokIdent {
+				return nil, p.errorf("expected column name, got %q", cn.raw)
+			}
+			ct := p.next()
+			if ct.kind != tokIdent {
+				return nil, p.errorf("expected column type, got %q", ct.raw)
+			}
+			var typ string
+			switch ct.text {
+			case "int", "integer", "bigint":
+				typ = "int"
+			case "text", "varchar", "string":
+				typ = "text"
+			default:
+				return nil, p.errorf("unsupported column type %q", ct.raw)
+			}
+			st.Cols = append(st.Cols, ColumnDef{Name: cn.text, Type: typ})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if len(st.Cols) == 0 {
+			return nil, fmt.Errorf("sqlparser: CREATE TABLE with no columns")
+		}
+		return st, nil
+	case p.acceptKeyword("unique"):
+		if err := p.expectKeyword("index"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndex(true)
+	case p.acceptKeyword("index"):
+		return p.parseCreateIndex(false)
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errorf("expected index name, got %q", name.raw)
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table := p.next()
+	if table.kind != tokIdent {
+		return nil, p.errorf("expected table name, got %q", table.raw)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col := p.next()
+	if col.kind != tokIdent {
+		return nil, p.errorf("expected column name, got %q", col.raw)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name.text, Table: table.text, Column: col.text, Unique: unique}, nil
+}
+
+// parseInsert handles INSERT INTO table VALUES (...), (...).
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table := p.next()
+	if table.kind != tokIdent {
+		return nil, p.errorf("expected table name, got %q", table.raw)
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table.text}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Literal
+		for {
+			if p.acceptKeyword("null") {
+				row = append(row, Literal{IsStr: false, Int: 0, Null: true})
+			} else {
+				l, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, l)
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return st, nil
+}

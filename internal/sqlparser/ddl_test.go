@@ -1,0 +1,125 @@
+package sqlparser
+
+import "testing"
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE users (id INT, name TEXT, bio VARCHAR, n BIGINT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "users" || len(ct.Cols) != 4 {
+		t.Fatalf("create table: %+v", ct)
+	}
+	want := []ColumnDef{{"id", "int"}, {"name", "text"}, {"bio", "text"}, {"n", "int"}}
+	for i, w := range want {
+		if ct.Cols[i] != w {
+			t.Fatalf("col %d = %+v, want %+v", i, ct.Cols[i], w)
+		}
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := Parse("CREATE UNIQUE INDEX ix_u_id ON users (id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndexStmt)
+	if !ci.Unique || ci.Name != "ix_u_id" || ci.Table != "users" || ci.Column != "id" {
+		t.Fatalf("create index: %+v", ci)
+	}
+	st, err = Parse("CREATE INDEX ix ON t (c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*CreateIndexStmt).Unique {
+		t.Fatal("non-unique index parsed as unique")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (1, 'a', NULL), (2, 'b', 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := st.(*InsertStmt)
+	if in.Table != "t" || len(in.Rows) != 2 || len(in.Rows[0]) != 3 {
+		t.Fatalf("insert: %+v", in)
+	}
+	if !in.Rows[0][2].Null || in.Rows[1][2].Int != 5 {
+		t.Fatalf("values: %+v", in.Rows)
+	}
+	if in.Rows[0][1].Str != "a" || !in.Rows[0][1].IsStr {
+		t.Fatalf("string value: %+v", in.Rows[0][1])
+	}
+}
+
+func TestParseDropAnalyze(t *testing.T) {
+	st, err := Parse("DROP TABLE t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*DropTableStmt).Name != "t" {
+		t.Fatal("drop table name lost")
+	}
+	st, err = Parse("ANALYZE movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*AnalyzeStmt).Table != "movies" {
+		t.Fatal("analyze table lost")
+	}
+	st, err = Parse("ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*AnalyzeStmt).Table != "" {
+		t.Fatal("bare analyze should target all tables")
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	bad := []string{
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a)",
+		"CREATE TABLE t (a FLOAT)",
+		"CREATE VIEW v",
+		"CREATE INDEX ix ON t",
+		"INSERT t VALUES (1)",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES ()",
+		"DROP t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestParseJoinSyntax(t *testing.T) {
+	s := mustSelect(t, `SELECT COUNT(*) FROM a JOIN b ON a.id = b.a_id AND a.x > 3
+		INNER JOIN c AS cc ON b.id = cc.b_id WHERE cc.y = 1`)
+	if len(s.From) != 3 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	if s.From[2].Alias != "cc" {
+		t.Fatalf("join alias: %+v", s.From[2])
+	}
+	// The ON predicates become WHERE conjuncts: 2 + 1 + 1 = 4.
+	if len(s.Where) != 4 {
+		t.Fatalf("where: %d conjuncts", len(s.Where))
+	}
+	if _, ok := s.Where[0].(JoinPred); !ok {
+		t.Fatalf("first ON predicate not a join: %T", s.Where[0])
+	}
+	// Mixed comma + JOIN.
+	s = mustSelect(t, "SELECT COUNT(*) FROM a, b JOIN c ON b.id = c.b_id WHERE a.id = b.a_id")
+	if len(s.From) != 3 || len(s.Where) != 2 {
+		t.Fatalf("mixed from: %+v where %d", s.From, len(s.Where))
+	}
+	// JOIN without ON is rejected.
+	if _, err := Parse("SELECT * FROM a JOIN b WHERE a.id = b.a_id"); err == nil {
+		t.Fatal("JOIN without ON accepted")
+	}
+}

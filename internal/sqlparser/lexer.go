@@ -1,0 +1,121 @@
+// Package sqlparser lexes and parses the SQL subset the workloads use:
+// SELECT with aggregates, multi-table FROM with aliases, conjunctive WHERE
+// clauses (equality joins, comparisons, BETWEEN, IN), GROUP BY, ORDER BY,
+// and LIMIT — plus the EXPLAIN and SET statements the engine's shell
+// exposes.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords and identifiers are lower-cased
+	raw  string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input, returning an error for unterminated strings or
+// illegal characters.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			raw := l.src[start:l.pos]
+			l.toks = append(l.toks, token{tokIdent, strings.ToLower(raw), raw, start})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			raw := l.src[start:l.pos]
+			l.toks = append(l.toks, token{tokNumber, raw, raw, start})
+		case c == '\'':
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparser: unterminated string at offset %d", start)
+			}
+			l.toks = append(l.toks, token{tokString, sb.String(), l.src[start:l.pos], start})
+		case strings.ContainsRune("(),.*=", rune(c)):
+			l.toks = append(l.toks, token{tokSymbol, string(c), string(c), l.pos})
+			l.pos++
+		case c == '<':
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+				l.toks = append(l.toks, token{tokSymbol, l.src[l.pos : l.pos+2], l.src[l.pos : l.pos+2], l.pos})
+				l.pos += 2
+			} else {
+				l.toks = append(l.toks, token{tokSymbol, "<", "<", l.pos})
+				l.pos++
+			}
+		case c == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.toks = append(l.toks, token{tokSymbol, ">=", ">=", l.pos})
+				l.pos += 2
+			} else {
+				l.toks = append(l.toks, token{tokSymbol, ">", ">", l.pos})
+				l.pos++
+			}
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.toks = append(l.toks, token{tokSymbol, "<>", "!=", l.pos})
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sqlparser: unexpected '!' at offset %d", l.pos)
+			}
+		case c == ';':
+			l.pos++ // statement terminator is optional and ignored
+		default:
+			return nil, fmt.Errorf("sqlparser: illegal character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}

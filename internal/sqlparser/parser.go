@@ -1,0 +1,446 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().raw)
+	}
+	return st, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlparser: expected SELECT, got %T", st)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+// next consumes the current token; at EOF it returns the EOF token without
+// advancing, so error paths can always peek safely.
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: "+format+" (at offset %d)", append(args, p.peek().pos)...)
+}
+
+// acceptKeyword consumes an identifier token equal to kw (already
+// lower-cased by the lexer).
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", kw, p.peek().raw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, got %q", s, p.peek().raw)
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("explain"):
+		analyze := p.acceptKeyword("analyze")
+		if err := p.expectKeyword("select"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
+	case p.acceptKeyword("set"):
+		return p.parseSet()
+	case p.acceptKeyword("select"):
+		return p.parseSelectBody()
+	case p.acceptKeyword("create"):
+		return p.parseCreate()
+	case p.acceptKeyword("insert"):
+		return p.parseInsert()
+	case p.acceptKeyword("drop"):
+		if err := p.expectKeyword("table"); err != nil {
+			return nil, err
+		}
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errorf("expected table name, got %q", name.raw)
+		}
+		return &DropTableStmt{Name: name.text}, nil
+	case p.acceptKeyword("analyze"):
+		if t := p.peek(); t.kind == tokIdent {
+			p.next()
+			return &AnalyzeStmt{Table: t.text}, nil
+		}
+		return &AnalyzeStmt{}, nil
+	default:
+		return nil, p.errorf("expected SELECT, EXPLAIN, SET, CREATE, INSERT, DROP, or ANALYZE, got %q", p.peek().raw)
+	}
+}
+
+func (p *parser) parseSet() (Statement, error) {
+	name := p.peek()
+	if name.kind != tokIdent {
+		return nil, p.errorf("expected variable name, got %q", name.raw)
+	}
+	p.next()
+	if !p.acceptKeyword("to") && !p.acceptSymbol("=") {
+		return nil, p.errorf("expected TO or = in SET")
+	}
+	val := p.next()
+	if val.kind != tokIdent && val.kind != tokNumber && val.kind != tokString {
+		return nil, p.errorf("expected value in SET, got %q", val.raw)
+	}
+	return &SetStmt{Name: name.text, Value: val.text}, nil
+}
+
+func (p *parser) parseSelectBody() (*SelectStmt, error) {
+	s := &SelectStmt{Limit: -1}
+	// Select list.
+	for {
+		e, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Select = append(s.Select, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, ref)
+	for {
+		switch {
+		case p.acceptSymbol(","):
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+		case p.peek().kind == tokIdent && (p.peek().text == "join" || p.peek().text == "inner"):
+			// Explicit inner joins desugar into the FROM list plus WHERE
+			// conjuncts: FROM a JOIN b ON a.x = b.y ≡ FROM a, b WHERE a.x = b.y.
+			p.acceptKeyword("inner")
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			if err := p.expectKeyword("on"); err != nil {
+				return nil, err
+			}
+			for {
+				pr, err := p.parsePredicate()
+				if err != nil {
+					return nil, err
+				}
+				s.Where = append(s.Where, pr)
+				// AND chains bind to the ON clause until the next JOIN or
+				// clause keyword; since all predicates are conjuncts of one
+				// WHERE anyway, greedy consumption is equivalent.
+				if !p.acceptKeyword("and") {
+					break
+				}
+			}
+		default:
+			goto fromDone
+		}
+	}
+fromDone:
+	if p.acceptKeyword("where") {
+		for {
+			pr, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			s.Where = append(s.Where, pr)
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count, got %q", t.raw)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.raw)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+// parseTableRef parses `name [AS alias | alias]`.
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return TableRef{}, p.errorf("expected table name, got %q", t.raw)
+	}
+	p.next()
+	ref := TableRef{Name: t.text, Alias: t.text}
+	if p.acceptKeyword("as") {
+		a := p.next()
+		if a.kind != tokIdent {
+			return TableRef{}, p.errorf("expected alias, got %q", a.raw)
+		}
+		ref.Alias = a.text
+	} else if a := p.peek(); a.kind == tokIdent && !reserved[a.text] {
+		p.next()
+		ref.Alias = a.text
+	}
+	return ref, nil
+}
+
+// reserved lists identifiers that terminate an implicit alias.
+var reserved = map[string]bool{
+	"where": true, "group": true, "order": true, "limit": true,
+	"and": true, "as": true, "on": true, "from": true, "select": true,
+	"between": true, "in": true, "desc": true, "asc": true, "by": true,
+	"join": true, "inner": true,
+}
+
+var aggNames = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "min": AggMin, "max": AggMax, "avg": AggAvg,
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	if p.acceptSymbol("*") {
+		return SelectExpr{Star: true}, nil
+	}
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[t.text]; ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			e := SelectExpr{Agg: agg}
+			if p.acceptSymbol("*") {
+				if agg != AggCount {
+					return SelectExpr{}, p.errorf("%s(*) is only valid for COUNT", agg)
+				}
+				e.Star = true
+			} else {
+				c, err := p.parseColRef()
+				if err != nil {
+					return SelectExpr{}, err
+				}
+				e.Col = c
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectExpr{}, err
+			}
+			return e, nil
+		}
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	return SelectExpr{Col: c}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ColRef{}, p.errorf("expected column, got %q", t.raw)
+	}
+	p.next()
+	if p.acceptSymbol(".") {
+		c := p.next()
+		if c.kind != tokIdent {
+			return ColRef{}, p.errorf("expected column after %q., got %q", t.raw, c.raw)
+		}
+		return ColRef{Table: t.text, Column: c.text}, nil
+	}
+	return ColRef{Column: t.text}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, p.errorf("bad number %q", t.raw)
+		}
+		return Literal{Int: n}, nil
+	case tokString:
+		return Literal{IsStr: true, Str: t.text}, nil
+	default:
+		return Literal{}, p.errorf("expected literal, got %q", t.raw)
+	}
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenPred{Col: col, Lo: lo, Hi: hi}, nil
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []Literal
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InPred{Col: col, Vals: vals}, nil
+	}
+	var op CmpOp
+	switch {
+	case p.acceptSymbol("="):
+		op = OpEq
+	case p.acceptSymbol("<>"):
+		op = OpNe
+	case p.acceptSymbol("<="):
+		op = OpLe
+	case p.acceptSymbol("<"):
+		op = OpLt
+	case p.acceptSymbol(">="):
+		op = OpGe
+	case p.acceptSymbol(">"):
+		op = OpGt
+	default:
+		return nil, p.errorf("expected comparison operator, got %q", p.peek().raw)
+	}
+	// Column op column → join predicate (only for =).
+	if t := p.peek(); t.kind == tokIdent {
+		r, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if op != OpEq {
+			return nil, p.errorf("only equality joins are supported (got %s between columns)", op)
+		}
+		return JoinPred{Left: col, Right: r}, nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return FilterPred{Col: col, Op: op, Val: v}, nil
+}

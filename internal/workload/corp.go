@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bao/internal/catalog"
+	"bao/internal/engine"
+	"bao/internal/storage"
+)
+
+// Corp base sizes (×Config.Scale). The real dataset is a 1 TB corporate
+// dashboard workload; half-way through, the corporation normalized a large
+// fact table — here, the (dept_id, region_id) pair is extracted into an
+// `account` dimension and the fact table is rebuilt around account_id. The
+// data itself is static, matching Table 1.
+const (
+	corpFacts    = 80000
+	corpDepts    = 50
+	corpRegions  = 20
+	corpProducts = 1000
+)
+
+// Corp generates the Corp workload: dynamic schema, static data, dynamic
+// queries (post-change queries expect the normalized schema).
+func Corp(cfg Config) *Instance {
+	nF := cfg.rows(corpFacts)
+	nP := cfg.rows(corpProducts)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 200))
+
+	prodSampler := newSampler(zipfWeights(nP, 1.1))
+	type factRow struct {
+		id, dept, region, product, amount, quarter int64
+	}
+	facts := make([]factRow, nF)
+	for i := range facts {
+		dept := int64(rng.Intn(corpDepts))
+		// Regions correlate with departments (each department operates in
+		// a few regions) — the planted correlation.
+		region := (dept*3 + int64(rng.Intn(4))) % corpRegions
+		product := int64(prodSampler.draw(rng))
+		amount := int64(1e6/pow(float64(product+1), 0.6)*(0.5+rng.Float64())) + 1
+		facts[i] = factRow{int64(i), dept, region, product, amount, int64(1 + rng.Intn(8))}
+	}
+
+	// The normalized form: unique (dept, region) pairs become accounts.
+	type pair struct{ d, r int64 }
+	accountID := make(map[pair]int64)
+	var accounts []storage.Row
+	factAccount := make([]int64, nF)
+	for i, f := range facts {
+		p := pair{f.dept, f.region}
+		id, ok := accountID[p]
+		if !ok {
+			id = int64(len(accounts))
+			accountID[p] = id
+			accounts = append(accounts, storage.Row{
+				storage.IntVal(id), storage.IntVal(f.dept), storage.IntVal(f.region)})
+		}
+		factAccount[i] = id
+	}
+
+	inst := &Instance{
+		Spec: Spec{Name: "Corp", NominalSizeGB: 1000, QueryCount: cfg.Queries,
+			DynamicWL: true, DynamicSchema: true},
+	}
+
+	inst.Setup = func(e *engine.Engine) error {
+		e.CreateTable(catalog.MustTable("fact",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "dept_id", Type: catalog.Int},
+			catalog.Column{Name: "region_id", Type: catalog.Int},
+			catalog.Column{Name: "product_id", Type: catalog.Int},
+			catalog.Column{Name: "amount", Type: catalog.Int},
+			catalog.Column{Name: "quarter", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("dept",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "division", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("region",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "country", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("product",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "category", Type: catalog.Int},
+			catalog.Column{Name: "price", Type: catalog.Int}))
+		frows := make([]storage.Row, nF)
+		for i, f := range facts {
+			frows[i] = storage.Row{storage.IntVal(f.id), storage.IntVal(f.dept),
+				storage.IntVal(f.region), storage.IntVal(f.product),
+				storage.IntVal(f.amount), storage.IntVal(f.quarter)}
+		}
+		if err := e.Insert("fact", frows); err != nil {
+			return err
+		}
+		drows := make([]storage.Row, corpDepts)
+		for i := range drows {
+			drows[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(int64(i % 6))}
+		}
+		if err := e.Insert("dept", drows); err != nil {
+			return err
+		}
+		rrows := make([]storage.Row, corpRegions)
+		for i := range rrows {
+			rrows[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(int64(i % 9))}
+		}
+		if err := e.Insert("region", rrows); err != nil {
+			return err
+		}
+		prows := make([]storage.Row, nP)
+		prng := rand.New(rand.NewSource(cfg.Seed + 201))
+		for i := range prows {
+			prows[i] = storage.Row{storage.IntVal(int64(i)),
+				storage.IntVal(int64(prng.Intn(12))),
+				storage.IntVal(int64(1 + prng.Intn(500)))}
+		}
+		if err := e.Insert("product", prows); err != nil {
+			return err
+		}
+		for _, ix := range []catalog.Index{
+			{Name: "ix_fact_product", Table: "fact", Column: "product_id"},
+			{Name: "ix_fact_dept", Table: "fact", Column: "dept_id"},
+			{Name: "ix_dept_id", Table: "dept", Column: "id", Unique: true},
+			{Name: "ix_region_id", Table: "region", Column: "id", Unique: true},
+			{Name: "ix_product_id", Table: "product", Column: "id", Unique: true},
+		} {
+			if err := e.CreateIndex(ix); err != nil {
+				return err
+			}
+		}
+		e.Analyze()
+		return nil
+	}
+
+	// The normalization event at the stream's midpoint.
+	inst.Events = append(inst.Events, Event{
+		BeforeQuery: cfg.Queries / 2,
+		Name:        "normalize fact table",
+		Apply: func(e *engine.Engine) error {
+			e.DropTable("fact")
+			e.CreateTable(catalog.MustTable("fact",
+				catalog.Column{Name: "id", Type: catalog.Int},
+				catalog.Column{Name: "account_id", Type: catalog.Int},
+				catalog.Column{Name: "product_id", Type: catalog.Int},
+				catalog.Column{Name: "amount", Type: catalog.Int},
+				catalog.Column{Name: "quarter", Type: catalog.Int}))
+			e.CreateTable(catalog.MustTable("account",
+				catalog.Column{Name: "id", Type: catalog.Int},
+				catalog.Column{Name: "dept_id", Type: catalog.Int},
+				catalog.Column{Name: "region_id", Type: catalog.Int}))
+			frows := make([]storage.Row, nF)
+			for i, f := range facts {
+				frows[i] = storage.Row{storage.IntVal(f.id),
+					storage.IntVal(factAccount[i]), storage.IntVal(f.product),
+					storage.IntVal(f.amount), storage.IntVal(f.quarter)}
+			}
+			if err := e.Insert("fact", frows); err != nil {
+				return err
+			}
+			if err := e.Insert("account", accounts); err != nil {
+				return err
+			}
+			for _, ix := range []catalog.Index{
+				{Name: "ix_fact_product2", Table: "fact", Column: "product_id"},
+				{Name: "ix_fact_account", Table: "fact", Column: "account_id"},
+				{Name: "ix_account_id", Table: "account", Column: "id", Unique: true},
+			} {
+				if err := e.CreateIndex(ix); err != nil {
+					return err
+				}
+			}
+			e.Analyze()
+			return nil
+		},
+	})
+
+	inst.Queries = buildStream(cfg, true, corpTemplates(nP))
+	return inst
+}
+
+func corpTemplates(nP int) []template {
+	hotProduct := func(rng *rand.Rand) int { return rng.Intn(nP/50 + 1) }
+	// Pre-normalization templates retire at the midpoint; their
+	// post-normalization counterparts join via account.
+	return []template{
+		{name: "dept_region_sum", weight: 1.5, introAt: 0, retireAt: 0.5, gen: func(rng *rand.Rand) string {
+			// Correlated (dept, region) pair → independence under-estimate.
+			d := rng.Intn(corpDepts)
+			return fmt.Sprintf("SELECT SUM(f.amount) FROM fact f WHERE f.dept_id = %d AND f.region_id = %d",
+				d, (d*3+rng.Intn(4))%corpRegions)
+		}},
+		{name: "hot_product_drill", weight: 1.2, introAt: 0, retireAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM fact f, product p WHERE f.product_id = p.id AND f.amount > %d AND p.category = %d",
+				200000+rng.Intn(300000), rng.Intn(12))
+		}},
+		{name: "quarter_dashboard", weight: 2.0, introAt: 0, retireAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT f.quarter, SUM(f.amount) FROM fact f, dept d WHERE f.dept_id = d.id AND d.division = %d GROUP BY f.quarter ORDER BY f.quarter",
+				rng.Intn(6))
+		}},
+		{name: "niche_product_lookup", weight: 1.3, introAt: 0, retireAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM fact f, product p WHERE f.product_id = p.id AND p.id = %d AND f.quarter = %d",
+				nP/2+rng.Intn(nP/2), 1+rng.Intn(8))
+		}},
+		{name: "region_rollup", weight: 1.0, introAt: 0.15, retireAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT r.country, COUNT(*) FROM fact f, region r WHERE f.region_id = r.id AND f.quarter BETWEEN %d AND %d GROUP BY r.country ORDER BY r.country",
+				1+rng.Intn(4), 5+rng.Intn(4))
+		}},
+		// --- post-normalization templates ---
+		{name: "dept_region_sum_v2", weight: 1.5, introAt: 0.5, gen: func(rng *rand.Rand) string {
+			d := rng.Intn(corpDepts)
+			return fmt.Sprintf("SELECT SUM(f.amount) FROM fact f, account a WHERE f.account_id = a.id AND a.dept_id = %d AND a.region_id = %d",
+				d, (d*3+rng.Intn(4))%corpRegions)
+		}},
+		{name: "hot_product_drill_v2", weight: 1.2, introAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM fact f, product p WHERE f.product_id = p.id AND f.amount > %d AND p.category = %d",
+				200000+rng.Intn(300000), rng.Intn(12))
+		}},
+		{name: "quarter_dashboard_v2", weight: 2.0, introAt: 0.5, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT f.quarter, SUM(f.amount) FROM fact f, account a, dept d WHERE f.account_id = a.id AND a.dept_id = d.id AND d.division = %d GROUP BY f.quarter ORDER BY f.quarter",
+				rng.Intn(6))
+		}},
+		{name: "account_4way", weight: 1.0, introAt: 0.55, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM fact f, account a, region r, product p WHERE f.account_id = a.id AND a.region_id = r.id AND f.product_id = p.id AND r.country = %d AND p.id < %d",
+				rng.Intn(9), hotProduct(rng)+1)
+		}},
+	}
+}

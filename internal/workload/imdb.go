@@ -1,0 +1,321 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bao/internal/catalog"
+	"bao/internal/engine"
+	"bao/internal/storage"
+)
+
+// IMDb base table sizes (multiplied by Config.Scale). The real dataset is
+// 7.2 GB; this synthetic equivalent keeps the join graph, skew, and
+// correlation structure at laptop scale.
+const (
+	imdbTitles    = 20000
+	imdbCast      = 120000
+	imdbInfo      = 40000
+	imdbCompanies = 26000
+	imdbNames     = 30000
+	imdbFirms     = 1500
+)
+
+// imdbPopularKind is the kind_id planted on popular (high-vote, high
+// join-fan-out) titles, creating the correlated predicate pair
+// (kind = 7 AND votes > V) that the independence assumption under-estimates.
+const imdbPopularKind = 7
+
+// IMDb generates the IMDb workload: a Join Order Benchmark-style schema
+// with a dynamic query workload (templates rotate in over the stream) over
+// static data and schema.
+func IMDb(cfg Config) *Instance {
+	nT := cfg.rows(imdbTitles)
+	inst := &Instance{
+		Spec:  Spec{Name: "IMDb", NominalSizeGB: 7.2, QueryCount: cfg.Queries, DynamicWL: true},
+		Setup: func(e *engine.Engine) error { return imdbSetup(e, cfg) },
+	}
+	inst.Queries = buildStream(cfg, true, imdbTemplates(cfg, nT))
+	return inst
+}
+
+// IMDbStable is the IMDb workload with every template available from the
+// start — the "stable query workload" of Figure 14a.
+func IMDbStable(cfg Config) *Instance {
+	nT := cfg.rows(imdbTitles)
+	inst := &Instance{
+		Spec:  Spec{Name: "IMDb-stable", NominalSizeGB: 7.2, QueryCount: cfg.Queries},
+		Setup: func(e *engine.Engine) error { return imdbSetup(e, cfg) },
+	}
+	inst.Queries = buildStream(cfg, false, imdbTemplates(cfg, nT))
+	return inst
+}
+
+// IMDbJOB returns the fixed 113-query Join Order Benchmark subset used by
+// Figures 1 and 11, including the 16b and 24b exemplars (indices 0 and 1).
+func IMDbJOB(cfg Config) []Query {
+	nT := cfg.rows(imdbTitles)
+	rng := rand.New(rand.NewSource(cfg.Seed + 16))
+	qs := []Query{
+		{SQL: imdb16b(nT), Template: "16b", JOB: true},
+		{SQL: imdb24b(nT, 1955), Template: "24b", JOB: true},
+	}
+	tmpls := imdbTemplates(cfg, nT)
+	for len(qs) < 113 {
+		t := tmpls[len(qs)%len(tmpls)]
+		qs = append(qs, Query{SQL: t.gen(rng), Template: t.name, JOB: true})
+	}
+	return qs
+}
+
+// imdb16b is the head-selecting trap query: correlated filters select the
+// popular titles whose cast fan-out is enormous, so the optimizer's
+// under-estimate makes an index nested loop look cheap and execution
+// catastrophic. Disabling loop joins fixes it (Figure 1, left).
+func imdb16b(nT int) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = %d AND t.votes > %d",
+		imdbPopularKind, voteThreshold(nT, 50))
+}
+
+// imdb24b is the tail-selecting twin: a genuinely tiny set of old,
+// unpopular titles where the index nested loop is near-free; forcing a
+// hash join (disable loop join) scans all of cast_info for nothing
+// (Figure 1, right).
+func imdb24b(nT int, year int) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.production_year = %d AND t.kind_id = 2 AND t.votes < 400",
+		year)
+}
+
+// voteThreshold returns the vote count of roughly the nT/k-th most popular
+// title, matching the planted votes curve in imdbSetup.
+func voteThreshold(nT, k int) int {
+	rank := nT / k
+	return int(2e6 / pow(float64(rank+1), 0.9))
+}
+
+func imdbSetup(e *engine.Engine, cfg Config) error {
+	nT := cfg.rows(imdbTitles)
+	nCI := cfg.rows(imdbCast)
+	nMI := cfg.rows(imdbInfo)
+	nMC := cfg.rows(imdbCompanies)
+	nN := cfg.rows(imdbNames)
+	nCo := cfg.rows(imdbFirms)
+
+	e.CreateTable(catalog.MustTable("title",
+		catalog.Column{Name: "id", Type: catalog.Int},
+		catalog.Column{Name: "kind_id", Type: catalog.Int},
+		catalog.Column{Name: "production_year", Type: catalog.Int},
+		catalog.Column{Name: "votes", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("cast_info",
+		catalog.Column{Name: "movie_id", Type: catalog.Int},
+		catalog.Column{Name: "person_id", Type: catalog.Int},
+		catalog.Column{Name: "role_id", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("movie_info",
+		catalog.Column{Name: "movie_id", Type: catalog.Int},
+		catalog.Column{Name: "info_type_id", Type: catalog.Int},
+		catalog.Column{Name: "info_val", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("movie_companies",
+		catalog.Column{Name: "movie_id", Type: catalog.Int},
+		catalog.Column{Name: "company_id", Type: catalog.Int},
+		catalog.Column{Name: "company_type_id", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("name",
+		catalog.Column{Name: "id", Type: catalog.Int},
+		catalog.Column{Name: "gender", Type: catalog.Int},
+		catalog.Column{Name: "age", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("company",
+		catalog.Column{Name: "id", Type: catalog.Int},
+		catalog.Column{Name: "country", Type: catalog.Int}))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// title: popularity decreases with id; votes follow the popularity
+	// curve; popular titles carry the planted "blockbuster" kind.
+	years := make([]int64, nT)
+	titles := make([]storage.Row, nT)
+	for i := 0; i < nT; i++ {
+		year := int64(1930 + rng.Intn(95))
+		years[i] = year
+		votes := int64(2e6/pow(float64(i+1), 0.9)*(0.9+0.2*rng.Float64())) + 1
+		var kind int64
+		switch {
+		case i < nT/50 && rng.Float64() < 0.8:
+			kind = imdbPopularKind
+		case year >= 2000 && rng.Float64() < 0.5:
+			kind = 3
+		case year < 1970 && rng.Float64() < 0.8:
+			kind = int64(1 + rng.Intn(2))
+		default:
+			kind = int64(1 + rng.Intn(6))
+		}
+		titles[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(kind),
+			storage.IntVal(year), storage.IntVal(votes)}
+	}
+	if err := e.Insert("title", titles); err != nil {
+		return err
+	}
+
+	// Foreign keys sampled by popularity (Zipf) — the join fan-out skew.
+	movieSampler := newSampler(zipfWeights(nT, 1.1))
+	// movie_companies uses a milder skew so that multi-fan-out joins
+	// (cast × companies through the same title) stay bounded.
+	mcMovieSampler := newSampler(zipfWeights(nT, 0.7))
+	personSampler := newSampler(zipfWeights(nN, 1.05))
+	firmSampler := newSampler(zipfWeights(nCo, 1.2))
+
+	cast := make([]storage.Row, nCI)
+	for i := range cast {
+		cast[i] = storage.Row{
+			storage.IntVal(int64(movieSampler.draw(rng))),
+			storage.IntVal(int64(personSampler.draw(rng))),
+			storage.IntVal(int64(1 + rng.Intn(11)))}
+	}
+	if err := e.Insert("cast_info", cast); err != nil {
+		return err
+	}
+
+	// movie_info: info_type correlates with the title's era, planting a
+	// cross-table correlation the formula-based estimator cannot see.
+	info := make([]storage.Row, nMI)
+	for i := range info {
+		m := movieSampler.draw(rng)
+		era := int((years[m] - 1930) / 5) // 0..18
+		it := int64(era*6 + rng.Intn(6) + 1)
+		info[i] = storage.Row{storage.IntVal(int64(m)), storage.IntVal(it),
+			storage.IntVal(int64(rng.Intn(1000)))}
+	}
+	if err := e.Insert("movie_info", info); err != nil {
+		return err
+	}
+
+	comps := make([]storage.Row, nMC)
+	for i := range comps {
+		comps[i] = storage.Row{
+			storage.IntVal(int64(mcMovieSampler.draw(rng))),
+			storage.IntVal(int64(firmSampler.draw(rng))),
+			storage.IntVal(int64(1 + rng.Intn(4)))}
+	}
+	if err := e.Insert("movie_companies", comps); err != nil {
+		return err
+	}
+
+	names := make([]storage.Row, nN)
+	for i := range names {
+		var g int64
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			g = 0
+		case r < 0.9:
+			g = 1
+		default:
+			g = 2
+		}
+		names[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(g),
+			storage.IntVal(int64(18 + rng.Intn(72)))}
+	}
+	if err := e.Insert("name", names); err != nil {
+		return err
+	}
+
+	firms := make([]storage.Row, nCo)
+	countrySampler := newSampler(zipfWeights(90, 1.3))
+	for i := range firms {
+		firms[i] = storage.Row{storage.IntVal(int64(i)),
+			storage.IntVal(int64(1 + countrySampler.draw(rng)))}
+	}
+	if err := e.Insert("company", firms); err != nil {
+		return err
+	}
+
+	for _, ix := range []catalog.Index{
+		{Name: "ix_title_id", Table: "title", Column: "id", Unique: true},
+		{Name: "ix_title_year", Table: "title", Column: "production_year"},
+		{Name: "ix_title_votes", Table: "title", Column: "votes"},
+		{Name: "ix_ci_movie", Table: "cast_info", Column: "movie_id"},
+		{Name: "ix_ci_person", Table: "cast_info", Column: "person_id"},
+		{Name: "ix_mi_movie", Table: "movie_info", Column: "movie_id"},
+		{Name: "ix_mc_movie", Table: "movie_companies", Column: "movie_id"},
+		{Name: "ix_mc_company", Table: "movie_companies", Column: "company_id"},
+		{Name: "ix_name_id", Table: "name", Column: "id", Unique: true},
+		{Name: "ix_company_id", Table: "company", Column: "id", Unique: true},
+	} {
+		if err := e.CreateIndex(ix); err != nil {
+			return err
+		}
+	}
+	e.Analyze()
+	return nil
+}
+
+// imdbTemplates returns the parameterized query templates. Roughly 20% of
+// the stream weight goes to tail-dominating templates (big scans or trap
+// joins), matching the §6.1 Pareto characterization.
+func imdbTemplates(cfg Config, nT int) []template {
+	headVotes := func(rng *rand.Rand) int { return voteThreshold(nT, 30+rng.Intn(60)) }
+	return []template{
+		// --- available from the start ---
+		{name: "popular_cast_trap", weight: 1.0, introAt: 0, gen: func(rng *rand.Rand) string {
+			// Head-selecting correlated pair → NL catastrophe unless hinted.
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = %d AND t.votes > %d",
+				imdbPopularKind, headVotes(rng))
+		}},
+		{name: "old_niche_lookup", weight: 1.2, introAt: 0, gen: func(rng *rand.Rand) string {
+			// Tail-selecting: index NL is right; forcing hash joins hurts.
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.production_year = %d AND t.kind_id = %d AND t.votes < %d",
+				1930+rng.Intn(35), 1+rng.Intn(2), 300+rng.Intn(400))
+		}},
+		{name: "year_range_count", weight: 2.0, introAt: 0, gen: func(rng *rand.Rand) string {
+			y := 1930 + rng.Intn(80)
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t WHERE t.production_year BETWEEN %d AND %d", y, y+rng.Intn(10)+1)
+		}},
+		{name: "person_filmography", weight: 1.6, introAt: 0, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM cast_info ci, name n WHERE ci.person_id = n.id AND n.age BETWEEN %d AND %d AND ci.role_id = %d",
+				20+rng.Intn(40), 65+rng.Intn(20), 1+rng.Intn(11))
+		}},
+		{name: "company_output", weight: 1.4, introAt: 0, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM movie_companies mc, company c WHERE mc.company_id = c.id AND c.country = %d AND mc.company_type_id = %d",
+				1+rng.Intn(12), 1+rng.Intn(4))
+		}},
+		{name: "era_info", weight: 1.5, introAt: 0, gen: func(rng *rand.Rand) string {
+			era := rng.Intn(18)
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, movie_info mi WHERE t.id = mi.movie_id AND mi.info_type_id = %d AND t.production_year BETWEEN %d AND %d",
+				era*6+1+rng.Intn(6), 1930+era*5, 1934+era*5)
+		}},
+		// --- introduced at 30% of the stream ---
+		{name: "star_vehicle_3way", weight: 1.3, introAt: 0.3, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, cast_info ci, name n WHERE t.id = ci.movie_id AND ci.person_id = n.id AND t.votes > %d AND n.gender = %d",
+				headVotes(rng), rng.Intn(2))
+		}},
+		{name: "studio_era", weight: 1.2, introAt: 0.3, gen: func(rng *rand.Rand) string {
+			y := 1960 + rng.Intn(50)
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, movie_companies mc, company c WHERE t.id = mc.movie_id AND mc.company_id = c.id AND c.country = %d AND t.production_year BETWEEN %d AND %d",
+				1+rng.Intn(8), y, y+8)
+		}},
+		{name: "group_by_year", weight: 0.9, introAt: 0.3, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT t.production_year, COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = %d GROUP BY t.production_year ORDER BY t.production_year",
+				1+rng.Intn(6))
+		}},
+		// --- introduced at 50% ---
+		{name: "anti_corr_modern", weight: 1.1, introAt: 0.5, gen: func(rng *rand.Rand) string {
+			// Anti-correlated pair (old era AND kind 3) → over-estimate →
+			// needless hash joins; arms forcing index NL win.
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, movie_info mi WHERE t.id = mi.movie_id AND t.kind_id = 3 AND t.production_year BETWEEN %d AND %d",
+				1935+rng.Intn(20), 1960+rng.Intn(5))
+		}},
+		{name: "cast_info_4way", weight: 1.0, introAt: 0.5, gen: func(rng *rand.Rand) string {
+			y := 1990 + rng.Intn(25)
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, cast_info ci, movie_companies mc, name n WHERE t.id = ci.movie_id AND t.id = mc.movie_id AND ci.person_id = n.id AND t.production_year BETWEEN %d AND %d AND n.gender = 2",
+				y, y+3)
+		}},
+		// --- introduced at 70% ---
+		{name: "deep_5way", weight: 0.8, introAt: 0.7, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM title t, cast_info ci, name n, movie_companies mc, company c WHERE t.id = ci.movie_id AND ci.person_id = n.id AND t.id = mc.movie_id AND mc.company_id = c.id AND t.votes > %d AND c.country = %d AND n.gender = 2",
+				voteThreshold(nT, 60+rng.Intn(90)), 1+rng.Intn(10))
+		}},
+		{name: "votes_topk", weight: 1.0, introAt: 0.7, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT t.id, t.votes FROM title t WHERE t.votes > %d ORDER BY t.votes DESC LIMIT %d",
+				voteThreshold(nT, 15), 10+rng.Intn(40))
+		}},
+	}
+}

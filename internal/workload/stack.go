@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bao/internal/catalog"
+	"bao/internal/engine"
+	"bao/internal/storage"
+)
+
+// Stack base sizes (×Config.Scale). The real dataset is 100 GB of
+// StackExchange questions and answers over ten years; data drift is
+// emulated by loading "a month at a time": the stream starts with 60% of
+// the rows loaded and eight load events add 5% each.
+const (
+	stackQuestions = 25000
+	stackAnswers   = 75000
+	stackUsers     = 20000
+	stackTags      = 400
+	stackQTags     = 50000
+	stackLoads     = 8
+)
+
+// Stack generates the Stack workload: dynamic data, static schema.
+func Stack(cfg Config) *Instance {
+	nQ := cfg.rows(stackQuestions)
+	nA := cfg.rows(stackAnswers)
+	nU := cfg.rows(stackUsers)
+	nT := cfg.rows(stackTags)
+	nQT := cfg.rows(stackQTags)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+
+	// Questions: popularity (views) decays with id; score correlates with
+	// views (the planted correlated pair); sites are Zipf-popular.
+	siteSampler := newSampler(zipfWeights(25, 1.2))
+	questions := make([]storage.Row, nQ)
+	for i := range questions {
+		views := int64(5e5/pow(float64(i+1), 0.85)*(0.9+0.2*rng.Float64())) + 1
+		score := int64(float64(views)/1000*(0.5+rng.Float64())) - int64(rng.Intn(3))
+		questions[i] = storage.Row{
+			storage.IntVal(int64(i)),
+			storage.IntVal(int64(siteSampler.draw(rng))),
+			storage.IntVal(int64(2009 + rng.Intn(11))),
+			storage.IntVal(score),
+			storage.IntVal(views)}
+	}
+	qSampler := newSampler(zipfWeights(nQ, 1.1))
+	uSampler := newSampler(zipfWeights(nU, 1.05))
+	answers := make([]storage.Row, nA)
+	for i := range answers {
+		q := qSampler.draw(rng)
+		answers[i] = storage.Row{
+			storage.IntVal(int64(i)),
+			storage.IntVal(int64(q)),
+			storage.IntVal(int64(uSampler.draw(rng))),
+			storage.IntVal(int64(rng.Intn(50)) - 2)}
+	}
+	users := make([]storage.Row, nU)
+	for i := range users {
+		rep := int64(1e5/pow(float64(i+1), 0.7)) + 1
+		users[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(rep),
+			storage.IntVal(int64(2009 + rng.Intn(11)))}
+	}
+	tags := make([]storage.Row, nT)
+	for i := range tags {
+		tags[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(int64(rng.Intn(8)))}
+	}
+	tagSampler := newSampler(zipfWeights(nT, 1.2))
+	qtags := make([]storage.Row, nQT)
+	for i := range qtags {
+		qtags[i] = storage.Row{
+			storage.IntVal(int64(qSampler.draw(rng))),
+			storage.IntVal(int64(tagSampler.draw(rng)))}
+	}
+
+	// Split into the initial load plus monthly batches.
+	initQ, batchesQ := splitBatches(questions, stackLoads)
+	initA, batchesA := splitBatches(answers, stackLoads)
+	initQT, batchesQT := splitBatches(qtags, stackLoads)
+
+	inst := &Instance{
+		Spec: Spec{Name: "Stack", NominalSizeGB: 100, QueryCount: cfg.Queries,
+			DynamicWL: true, DynamicData: true},
+	}
+	inst.Setup = func(e *engine.Engine) error {
+		e.CreateTable(catalog.MustTable("questions",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "site_id", Type: catalog.Int},
+			catalog.Column{Name: "year", Type: catalog.Int},
+			catalog.Column{Name: "score", Type: catalog.Int},
+			catalog.Column{Name: "views", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("answers",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "question_id", Type: catalog.Int},
+			catalog.Column{Name: "owner_id", Type: catalog.Int},
+			catalog.Column{Name: "score", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("users",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "rep", Type: catalog.Int},
+			catalog.Column{Name: "year_joined", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("tags",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "kind", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("question_tags",
+			catalog.Column{Name: "question_id", Type: catalog.Int},
+			catalog.Column{Name: "tag_id", Type: catalog.Int}))
+		if err := e.Insert("questions", initQ); err != nil {
+			return err
+		}
+		if err := e.Insert("answers", initA); err != nil {
+			return err
+		}
+		if err := e.Insert("users", users); err != nil {
+			return err
+		}
+		if err := e.Insert("tags", tags); err != nil {
+			return err
+		}
+		if err := e.Insert("question_tags", initQT); err != nil {
+			return err
+		}
+		for _, ix := range []catalog.Index{
+			{Name: "ix_q_id", Table: "questions", Column: "id", Unique: true},
+			{Name: "ix_q_views", Table: "questions", Column: "views"},
+			{Name: "ix_a_qid", Table: "answers", Column: "question_id"},
+			{Name: "ix_a_owner", Table: "answers", Column: "owner_id"},
+			{Name: "ix_u_id", Table: "users", Column: "id", Unique: true},
+			{Name: "ix_t_id", Table: "tags", Column: "id", Unique: true},
+			{Name: "ix_qt_qid", Table: "question_tags", Column: "question_id"},
+			{Name: "ix_qt_tid", Table: "question_tags", Column: "tag_id"},
+		} {
+			if err := e.CreateIndex(ix); err != nil {
+				return err
+			}
+		}
+		e.Analyze()
+		return nil
+	}
+
+	// Monthly load events, evenly spaced.
+	for b := 0; b < stackLoads; b++ {
+		b := b
+		at := (b + 1) * cfg.Queries / (stackLoads + 1)
+		inst.Events = append(inst.Events, Event{
+			BeforeQuery: at,
+			Name:        fmt.Sprintf("load month %d", b+1),
+			Apply: func(e *engine.Engine) error {
+				if err := e.Insert("questions", batchesQ[b]); err != nil {
+					return err
+				}
+				if err := e.Insert("answers", batchesA[b]); err != nil {
+					return err
+				}
+				if err := e.Insert("question_tags", batchesQT[b]); err != nil {
+					return err
+				}
+				for _, t := range []string{"questions", "answers", "question_tags"} {
+					if err := e.RebuildIndexes(t); err != nil {
+						return err
+					}
+				}
+				e.Analyze()
+				return nil
+			},
+		})
+	}
+	inst.Queries = buildStream(cfg, true, stackTemplates(nQ, nU))
+	return inst
+}
+
+// splitBatches keeps 60% as the initial load and divides the rest into n
+// equal batches.
+func splitBatches(rows []storage.Row, n int) (initial []storage.Row, batches [][]storage.Row) {
+	cut := len(rows) * 6 / 10
+	initial = rows[:cut]
+	rest := rows[cut:]
+	per := (len(rest) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(rest) {
+			lo = len(rest)
+		}
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		batches = append(batches, rest[lo:hi])
+	}
+	return initial, batches
+}
+
+func stackTemplates(nQ, nU int) []template {
+	hotViews := func(rng *rand.Rand) int {
+		rank := nQ/40 + rng.Intn(nQ/40+1)
+		return int(5e5 / pow(float64(rank+1), 0.85))
+	}
+	return []template{
+		{name: "hot_question_answers", weight: 1.2, introAt: 0, gen: func(rng *rand.Rand) string {
+			// Head-selecting trap: hot questions carry most answers.
+			return fmt.Sprintf("SELECT COUNT(*) FROM questions q, answers a WHERE q.id = a.question_id AND q.views > %d AND q.score > %d",
+				hotViews(rng), rng.Intn(20))
+		}},
+		{name: "site_year_count", weight: 2.0, introAt: 0, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM questions q WHERE q.site_id = %d AND q.year = %d",
+				rng.Intn(25), 2009+rng.Intn(11))
+		}},
+		{name: "cold_question_lookup", weight: 1.5, introAt: 0, gen: func(rng *rand.Rand) string {
+			// Tail-selecting: a tiny set of unviewed questions.
+			return fmt.Sprintf("SELECT COUNT(*) FROM questions q, answers a WHERE q.id = a.question_id AND q.views < %d AND q.year = %d",
+				3+rng.Intn(5), 2009+rng.Intn(11))
+		}},
+		{name: "expert_answers", weight: 1.4, introAt: 0, gen: func(rng *rand.Rand) string {
+			rank := nU/50 + rng.Intn(nU/50+1)
+			rep := int(1e5 / pow(float64(rank+1), 0.7))
+			return fmt.Sprintf("SELECT COUNT(*) FROM answers a, users u WHERE a.owner_id = u.id AND u.rep > %d AND a.score > %d",
+				rep, rng.Intn(10))
+		}},
+		{name: "tag_histogram", weight: 1.0, introAt: 0.25, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT t.kind, COUNT(*) FROM question_tags qt, tags t WHERE qt.tag_id = t.id AND t.kind = %d GROUP BY t.kind",
+				rng.Intn(8))
+		}},
+		{name: "tagged_hot_3way", weight: 1.1, introAt: 0.4, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM questions q, question_tags qt, tags t WHERE q.id = qt.question_id AND qt.tag_id = t.id AND q.views > %d AND t.kind = %d",
+				hotViews(rng), rng.Intn(8))
+		}},
+		{name: "answers_per_year", weight: 0.9, introAt: 0.55, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT q.year, COUNT(*) FROM questions q, answers a WHERE q.id = a.question_id AND q.site_id = %d GROUP BY q.year ORDER BY q.year",
+				rng.Intn(12))
+		}},
+		{name: "qa_user_4way", weight: 0.9, introAt: 0.7, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM questions q, answers a, users u WHERE q.id = a.question_id AND a.owner_id = u.id AND q.year BETWEEN %d AND %d AND u.year_joined = %d",
+				2010+rng.Intn(5), 2016+rng.Intn(4), 2009+rng.Intn(11))
+		}},
+	}
+}

@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+	"bao/internal/planner"
+)
+
+// smallCfg keeps workload tests fast.
+func smallCfg() Config { return Config{Scale: 0.15, Queries: 60, Seed: 42} }
+
+func TestAllWorkloadsSetupAndRun(t *testing.T) {
+	for _, inst := range All(smallCfg()) {
+		inst := inst
+		t.Run(inst.Spec.Name, func(t *testing.T) {
+			e := engine.New(engine.GradePostgreSQL, 4000)
+			if err := inst.Setup(e); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			ev := 0
+			for i, q := range inst.Queries {
+				for ev < len(inst.Events) && inst.Events[ev].BeforeQuery <= i {
+					if err := inst.Events[ev].Apply(e); err != nil {
+						t.Fatalf("event %q: %v", inst.Events[ev].Name, err)
+					}
+					ev++
+				}
+				if _, err := e.Query(q.SQL); err != nil {
+					t.Fatalf("query %d (%s): %v\n%s", i, q.Template, err, q.SQL)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := IMDb(smallCfg())
+	b := IMDb(smallCfg())
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs across identical configs", i)
+		}
+	}
+}
+
+func TestDynamicWorkloadRotation(t *testing.T) {
+	inst := IMDb(Config{Scale: 0.15, Queries: 200, Seed: 1})
+	early := map[string]bool{}
+	late := map[string]bool{}
+	for i, q := range inst.Queries {
+		if i < 50 {
+			early[q.Template] = true
+		} else if i >= 150 {
+			late[q.Template] = true
+		}
+	}
+	// Templates introduced at 70% must not appear early.
+	if early["deep_5way"] || early["votes_topk"] {
+		t.Fatal("late templates appeared before their introduction point")
+	}
+	if !late["deep_5way"] && !late["votes_topk"] {
+		t.Fatal("late templates never appeared")
+	}
+}
+
+func TestCorpSchemaChangeSplitsTemplates(t *testing.T) {
+	inst := Corp(Config{Scale: 0.15, Queries: 200, Seed: 1})
+	for i, q := range inst.Queries {
+		pre := i < 100
+		switch q.Template {
+		case "dept_region_sum", "hot_product_drill", "quarter_dashboard", "niche_product_lookup", "region_rollup":
+			if !pre {
+				t.Fatalf("pre-normalization template %s at position %d", q.Template, i)
+			}
+		case "dept_region_sum_v2", "hot_product_drill_v2", "quarter_dashboard_v2", "account_4way":
+			if pre {
+				t.Fatalf("post-normalization template %s at position %d", q.Template, i)
+			}
+		}
+	}
+	if len(inst.Events) != 1 || inst.Events[0].BeforeQuery != 100 {
+		t.Fatalf("events = %+v", inst.Events)
+	}
+}
+
+func TestStackDataGrows(t *testing.T) {
+	cfg := smallCfg()
+	inst := Stack(cfg)
+	e := engine.New(engine.GradePostgreSQL, 4000)
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := e.Query("SELECT COUNT(*) FROM answers")
+	for _, ev := range inst.Events {
+		if err := ev.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := e.Query("SELECT COUNT(*) FROM answers")
+	if after.Rows[0][0].I <= before.Rows[0][0].I {
+		t.Fatalf("answers did not grow: %d -> %d", before.Rows[0][0].I, after.Rows[0][0].I)
+	}
+	if got := after.Rows[0][0].I; got != int64(cfg.rows(stackAnswers)) {
+		t.Fatalf("final answers = %d, want %d", got, cfg.rows(stackAnswers))
+	}
+}
+
+// TestTrapQueriesCreateHintOpportunity verifies the planted dynamics: on
+// the 16b analog, disabling nested loops must improve simulated latency by
+// a large factor; on the 24b analog it must cause a large regression —
+// Figure 1's shape.
+func TestTrapQueriesCreateHintOpportunity(t *testing.T) {
+	cfg := Config{Scale: 0.5, Queries: 10, Seed: 42}
+	e := engine.New(engine.GradePostgreSQL, 4000)
+	if err := imdbSetup(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	nT := cfg.rows(imdbTitles)
+
+	simTime := func(sql string, h planner.Hints) float64 {
+		q, err := e.AnalyzeSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		n, _, err := e.Plan(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Pool.Clear()
+		res, err := e.Execute(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cloud.ExecSeconds(res.Counters)
+	}
+	noNL := planner.AllOn()
+	noNL.NestLoop = false
+
+	q16 := imdb16b(nT)
+	def16 := simTime(q16, planner.AllOn())
+	hint16 := simTime(q16, noNL)
+	if def16 < 2*hint16 {
+		t.Fatalf("16b: disabling loop join should help a lot: default %.3fs vs hinted %.3fs", def16, hint16)
+	}
+
+	q24 := imdb24b(nT, 1955)
+	def24 := simTime(q24, planner.AllOn())
+	hint24 := simTime(q24, noNL)
+	if hint24 < 2*def24 {
+		t.Fatalf("24b: disabling loop join should hurt a lot: default %.4fs vs hinted %.4fs", def24, hint24)
+	}
+}
+
+func TestJOBQueriesFixed(t *testing.T) {
+	cfg := smallCfg()
+	qs := IMDbJOB(cfg)
+	if len(qs) != 113 {
+		t.Fatalf("JOB subset has %d queries, want 113", len(qs))
+	}
+	qs2 := IMDbJOB(cfg)
+	for i := range qs {
+		if qs[i].SQL != qs2[i].SQL {
+			t.Fatal("JOB queries not deterministic")
+		}
+		if !qs[i].JOB {
+			t.Fatal("JOB query not flagged")
+		}
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := zipfWeights(100, 1.1)
+	if w[0] <= w[50] || w[50] <= w[99] {
+		t.Fatal("zipf weights not decreasing")
+	}
+	s := newSampler(w)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[s.draw(rng)]++
+	}
+	if counts[0] < counts[50]*3 {
+		t.Fatalf("head not dominant: head=%d mid=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Fatal("sampler lost draws")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"IMDb", "stack", "Corp"} {
+		if _, err := ByName(name, smallCfg()); err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("tpch", smallCfg()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	// The §6.1 characterization: a minority of queries should account for
+	// the majority of execution time under the native optimizer.
+	cfg := Config{Scale: 0.25, Queries: 120, Seed: 7}
+	inst := IMDb(cfg)
+	e := engine.New(engine.GradePostgreSQL, 3000)
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for _, q := range inst.Queries {
+		res, err := e.Query(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, cloud.ExecSeconds(res.Counters))
+	}
+	total := 0.0
+	for _, v := range times {
+		total += v
+	}
+	sorted := append([]float64(nil), times...)
+	// Descending.
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	top20 := 0.0
+	for i := 0; i < len(sorted)/5; i++ {
+		top20 += sorted[i]
+	}
+	if frac := top20 / total; frac < 0.5 {
+		t.Fatalf("top-20%% queries account for only %.0f%% of time; workload not tail-dominated", frac*100)
+	}
+	if math.IsNaN(total) || total <= 0 {
+		t.Fatal("degenerate workload timing")
+	}
+}
+
+// TestStackTrapQuery verifies the Stack workload plants the same
+// hint-opportunity structure as IMDb: hot-question joins improve when loop
+// joins are disabled.
+func TestStackTrapQuery(t *testing.T) {
+	cfg := Config{Scale: 0.4, Queries: 5, Seed: 42}
+	inst := Stack(cfg)
+	e := engine.New(engine.GradePostgreSQL, 600)
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	nQ := cfg.rows(stackQuestions)
+	rank := nQ / 40
+	views := int(5e5 / pow(float64(rank+1), 0.85))
+	sql := fmt.Sprintf("SELECT COUNT(*) FROM questions q, answers a WHERE q.id = a.question_id AND q.views > %d AND q.score > 5", views)
+	timeFor := func(h planner.Hints) float64 {
+		n, err := e.PlanSQL(sql, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Pool.Clear()
+		res, err := e.Execute(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cloud.ExecSeconds(res.Counters)
+	}
+	noNL := planner.AllOn()
+	noNL.NestLoop = false
+	def, hinted := timeFor(planner.AllOn()), timeFor(noNL)
+	if def < 1.5*hinted {
+		t.Fatalf("stack trap: default %.3fs vs no-NL %.3fs — no hint opportunity", def, hinted)
+	}
+}
+
+// TestCorpCorrelatedPairUnderestimated: the (dept, region) pair is planted
+// correlated; the PG-grade optimizer under-estimates the conjunction.
+func TestCorpCorrelatedPair(t *testing.T) {
+	cfg := Config{Scale: 0.3, Queries: 5, Seed: 42}
+	inst := Corp(cfg)
+	e := engine.New(engine.GradePostgreSQL, 2000)
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	// dept 10 operates in regions (30..33)%20; pick a matching pair.
+	sql := "SELECT COUNT(*) FROM fact f WHERE f.dept_id = 10 AND f.region_id = 10"
+	n, err := e.PlanSQL(sql, planner.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(res.Rows[0][0].I)
+	var scan *planner.Node
+	n.Walk(func(x *planner.Node) {
+		if x.IsScan() {
+			scan = x
+		}
+	})
+	if truth > 50 && scan.EstRows > truth/2 {
+		t.Fatalf("corp correlation not under-estimated: est %.0f vs true %.0f", scan.EstRows, truth)
+	}
+}
