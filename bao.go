@@ -26,6 +26,7 @@ import (
 	"bao/internal/core"
 	"bao/internal/engine"
 	"bao/internal/executor"
+	"bao/internal/obs"
 	"bao/internal/planner"
 	"bao/internal/storage"
 )
@@ -137,3 +138,38 @@ func ExecSeconds(c Counters) float64 { return cloud.ExecSeconds(c) }
 
 // PagesForVM sizes a buffer pool for a simulated VM profile.
 func PagesForVM(vm VMType) int { return cloud.PagesForVM(vm) }
+
+// Observability re-exports. Every Optimizer records into an Observer —
+// the process-wide default unless Config.Observer overrides it — which
+// carries atomic counters, gauges, latency histograms, and (once tracing
+// is enabled) a ring buffer of per-query decision traces.
+type (
+	// Observer is the observability sink: metrics registry handles plus
+	// the decision-trace ring.
+	Observer = obs.Observer
+	// StatsSnapshot is a point-in-time copy of every metric.
+	StatsSnapshot = obs.Snapshot
+	// QueryTrace is one query's decision trace (spans + arm metadata).
+	QueryTrace = obs.Trace
+	// ObsServer is a running /metrics + /debug/traces HTTP endpoint.
+	ObsServer = obs.Server
+)
+
+// DefaultObserver returns the process-wide observer that optimizers (and
+// engines' executors) record into by default.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// DisabledObserver returns a no-op observer; set it as Config.Observer to
+// turn instrumentation off entirely (used to bound its overhead).
+func DisabledObserver() *Observer { return obs.Disabled() }
+
+// Stats snapshots the process-wide default metrics registry — the
+// programmatic equivalent of scraping /metrics. Optimizers with a custom
+// Config.Observer snapshot via their own Optimizer.Stats method instead.
+func Stats() StatsSnapshot { return obs.Default().Snapshot() }
+
+// ServeObs starts an HTTP server on addr exposing Prometheus metrics at
+// /metrics and the decision-trace ring at /debug/traces, and enables
+// tracing on the default observer. Pass addr ":0" to pick a free port;
+// the returned server reports the actual address.
+func ServeObs(addr string) (*ObsServer, error) { return obs.Serve(addr, obs.Default()) }

@@ -6,16 +6,70 @@ package bao_test
 // the whole evaluation; run cmd/baobench for full-scale output.
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"sync"
 	"testing"
 
+	"bao"
 	"bao/internal/harness"
+	"bao/internal/obs"
+	"bao/internal/workload"
 )
 
 // benchOpts keeps benchmark iterations affordable; cmd/baobench uses the
 // full default scale.
 func benchOpts() harness.Options {
 	return harness.Options{Scale: 0.12, Queries: 100, Seed: 42, Out: io.Discard}
+}
+
+// benchRow is one benchmark's machine-readable result, written to
+// BENCH_results.json after the run so perf trajectories can be tracked
+// across commits.
+type benchRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+}
+
+var benchResults struct {
+	mu   sync.Mutex
+	rows []benchRow
+}
+
+// recordBench captures a finished benchmark's timing. queriesPerIter is
+// the nominal workload stream length one iteration processes (0 when the
+// benchmark is not a query loop).
+func recordBench(b *testing.B, queriesPerIter int) {
+	b.Helper()
+	elapsed := b.Elapsed()
+	if b.N == 0 || elapsed <= 0 {
+		return
+	}
+	row := benchRow{Name: b.Name(), NsPerOp: float64(elapsed.Nanoseconds()) / float64(b.N)}
+	if queriesPerIter > 0 {
+		row.QueriesPerSec = float64(queriesPerIter*b.N) / elapsed.Seconds()
+	}
+	benchResults.mu.Lock()
+	benchResults.rows = append(benchResults.rows, row)
+	benchResults.mu.Unlock()
+}
+
+// TestMain writes BENCH_results.json when any benchmarks ran.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchResults.mu.Lock()
+	rows := benchResults.rows
+	benchResults.mu.Unlock()
+	if len(rows) > 0 {
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_results.json", append(buf, '\n'), 0o644); err != nil {
+				os.Stderr.WriteString("writing BENCH_results.json: " + err.Error() + "\n")
+			}
+		}
+	}
+	os.Exit(code)
 }
 
 func runExp(b *testing.B, fn func(*harness.Session) error) {
@@ -26,6 +80,7 @@ func runExp(b *testing.B, fn func(*harness.Session) error) {
 			b.Fatal(err)
 		}
 	}
+	recordBench(b, benchOpts().Queries)
 }
 
 func BenchmarkTable1Datasets(b *testing.B) {
@@ -98,4 +153,48 @@ func BenchmarkCharacterization(b *testing.B) {
 
 func BenchmarkAblation(b *testing.B) {
 	runExp(b, func(s *harness.Session) error { return s.Ablation() })
+}
+
+// benchObsQueries is the stream length of one observability-overhead
+// benchmark iteration.
+const benchObsQueries = 30
+
+// benchQueryLoop measures the Bao select-execute-observe loop with a
+// given observer. Comparing the Instrumented and Disabled variants bounds
+// the cost of the observability layer on the hot path.
+func benchQueryLoop(b *testing.B, mkObs func() *bao.Observer) {
+	b.Helper()
+	inst := workload.IMDb(workload.Config{Scale: 0.06, Queries: benchObsQueries, Seed: 42})
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	if err := inst.Setup(eng); err != nil {
+		b.Fatal(err)
+	}
+	cfg := bao.FastConfig()
+	cfg.Arms = bao.TopArms(6)
+	cfg.Observer = mkObs()
+	opt := bao.New(eng, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range inst.Queries {
+			if _, _, err := opt.Run(q.SQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	recordBench(b, len(inst.Queries))
+}
+
+func BenchmarkQueryLoopInstrumented(b *testing.B) {
+	benchQueryLoop(b, func() *bao.Observer {
+		// Fresh registry with tracing on: the most expensive configuration
+		// the instrumentation supports.
+		o := obs.NewObserver(obs.NewRegistry(), nil)
+		o.EnableTracing(64)
+		return o
+	})
+}
+
+func BenchmarkQueryLoopObsDisabled(b *testing.B) {
+	benchQueryLoop(b, bao.DisabledObserver)
 }

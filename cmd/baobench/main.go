@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"bao/internal/harness"
+	"bao/internal/obs"
 )
 
 func main() {
@@ -25,7 +26,18 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale multiplier")
 	queries := flag.Int("queries", 1200, "workload stream length")
 	seed := flag.Int64("seed", 42, "random seed")
+	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address while experiments run")
 	flag.Parse()
+
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "baobench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics and /debug/traces\n", srv.Addr)
+	}
 
 	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed, Out: os.Stdout}
 	s := harness.NewSession(opts)

@@ -33,7 +33,17 @@ func main() {
 	wlName := flag.String("workload", "IMDb", "dataset to load (IMDb, Stack, Corp)")
 	scale := flag.Float64("scale", 0.25, "dataset scale")
 	train := flag.Int("train", 0, "pre-train Bao on this many workload queries")
+	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
+
+	if *listen != "" {
+		srv, err := bao.ServeObs(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics and /debug/traces\n", srv.Addr)
+	}
 
 	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
 	if err != nil {

@@ -22,6 +22,18 @@ type Stats struct {
 	Misses int64
 }
 
+// Total returns the number of page accesses counted.
+func (s Stats) Total() int64 { return s.Hits + s.Misses }
+
+// HitRate returns the hit fraction, zero when nothing was accessed. This
+// is the bao_bufferpool_hit_rate gauge the observability layer exports.
+func (s Stats) HitRate() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
 // Pool is an LRU page cache. It is not safe for concurrent use; the engine
 // serializes access (concurrent-query experiments interleave at query
 // granularity and model contention in the cloud clock).

@@ -12,6 +12,7 @@ import (
 	"bao/internal/executor"
 	"bao/internal/model"
 	"bao/internal/nn"
+	"bao/internal/obs"
 	"bao/internal/planner"
 	"bao/internal/storage"
 )
@@ -81,6 +82,10 @@ type Config struct {
 	// NewModel overrides the value model (Figure 15a swaps in RF/Linear).
 	// When nil a TCNN is used.
 	NewModel func() model.Model
+	// Observer is the observability sink (metrics + decision traces).
+	// When nil the process-wide obs.Default() is used; obs.Disabled()
+	// turns instrumentation into no-ops.
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -139,6 +144,10 @@ type Selection struct {
 	Preds      []float64 // model predictions (seconds); nil before first train
 	Candidates []int     // planner effort per arm, for the optimization-time model
 	UsedModel  bool
+	// Trace is the in-flight decision trace for this query; nil unless
+	// the observer has tracing enabled. Observe/ObserveValue finish and
+	// publish it.
+	Trace *obs.Trace
 }
 
 // recentKeep is how many of the newest experiences are always included in
@@ -169,6 +178,7 @@ type Bao struct {
 	trained     bool
 	warmupArms  []int // Cfg.Arms indices selectable during warm-up
 	rng         *rand.Rand
+	observer    *obs.Observer
 
 	TrainEvents []TrainEvent
 }
@@ -191,6 +201,10 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 		critical:   make(map[string][]Experience),
 		markedCrit: make(map[string]string),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		observer:   cfg.Observer,
+	}
+	if b.observer == nil {
+		b.observer = obs.Default()
 	}
 	if cfg.NewModel != nil {
 		b.Model = cfg.NewModel()
@@ -237,16 +251,23 @@ func (b *Bao) ExperienceSize() int { return len(b.exp) }
 // default arm (the unhinted optimizer) is used, matching the paper's
 // conservative cold start.
 func (b *Bao) Select(sql string) (*Selection, error) {
+	o := b.observer
+	selStart := time.Now()
+	tr := o.StartTrace(sql)
 	q, err := b.Eng.AnalyzeSQL(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel := &Selection{SQL: sql, Query: q}
+	parseDone := time.Now()
+	o.ParseSeconds.Observe(parseDone.Sub(selStart).Seconds())
+	tr.AddSpan("parse", selStart, parseDone.Sub(selStart), "")
+	sel := &Selection{SQL: sql, Query: q, Trace: tr}
 	sel.Plans = make([]*planner.Node, len(b.Cfg.Arms))
 	sel.Candidates = make([]int, len(b.Cfg.Arms))
 	sel.Trees = make([]*nn.Tree, len(b.Cfg.Arms))
+	featDur := make([]time.Duration, len(b.Cfg.Arms))
 	if b.Cfg.ParallelPlanning {
-		if err := b.planArmsParallel(q, sel); err != nil {
+		if err := b.planArmsParallel(q, sel, featDur); err != nil {
 			return nil, err
 		}
 	} else {
@@ -257,11 +278,29 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 			}
 			sel.Plans[i] = n
 			sel.Candidates[i] = cands
+			featStart := time.Now()
 			sel.Trees[i] = b.Feat.Vectorize(n)
+			featDur[i] = time.Since(featStart)
 		}
 	}
+	planDone := time.Now()
+	var feat time.Duration
+	for _, d := range featDur {
+		feat += d
+	}
+	o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
+	o.FeatSeconds.Observe(feat.Seconds())
+	if tr != nil {
+		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone),
+			fmt.Sprintf("arms=%d parallel=%v", len(b.Cfg.Arms), b.Cfg.ParallelPlanning))
+		tr.AddSpan("featurize", parseDone, feat, "summed across arms; overlaps plan_arms")
+	}
 	if b.trained {
+		inferStart := time.Now()
 		sel.Preds = b.Model.Predict(sel.Trees)
+		inferDone := time.Now()
+		o.InferSeconds.Observe(inferDone.Sub(inferStart).Seconds())
+		tr.AddSpan("infer", inferStart, inferDone.Sub(inferStart), "")
 		candidates := b.selectableArms()
 		// Cost-sanity guard: drop arms whose plan the traditional optimizer
 		// prices two orders of magnitude above the cheapest arm. Bao
@@ -304,6 +343,19 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		}
 		sel.ArmID = best
 		sel.UsedModel = true
+		tr.AddSpan("select_arm", inferDone, time.Since(inferDone), "")
+	}
+	o.SelectSeconds.Observe(time.Since(selStart).Seconds())
+	o.ArmSelected.With(b.Cfg.Arms[sel.ArmID].Name).Inc()
+	if tr != nil {
+		tr.ArmID = sel.ArmID
+		tr.ArmName = b.Cfg.Arms[sel.ArmID].Name
+		tr.UsedModel = sel.UsedModel
+		tr.WarmUp = b.warmupActive()
+		tr.WindowSize = len(b.exp)
+		if sel.Preds != nil {
+			tr.PredictedSecs = sel.Preds[sel.ArmID]
+		}
 	}
 	return sel, nil
 }
@@ -311,8 +363,10 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 // planArmsParallel plans every arm concurrently. Each goroutine gets its
 // own Optimizer (the schema and statistics it reads are immutable between
 // queries); the buffer-pool-backed cache features are read without
-// mutation, so featurization is safe too.
-func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection) error {
+// mutation, so featurization is safe too. Per-arm featurization times land
+// in featDur (disjoint indices, so no synchronization beyond the
+// WaitGroup is needed — the metrics themselves are atomic).
+func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, featDur []time.Duration) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(b.Cfg.Arms))
 	for i, arm := range b.Cfg.Arms {
@@ -328,7 +382,9 @@ func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection) error {
 			}
 			sel.Plans[i] = n
 			sel.Candidates[i] = opt.LastCandidates
+			featStart := time.Now()
 			sel.Trees[i] = b.Feat.Vectorize(n)
+			featDur[i] = time.Since(featStart)
 		}(i, arm)
 	}
 	wg.Wait()
@@ -340,10 +396,16 @@ func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection) error {
 	return nil
 }
 
+// warmupActive reports whether arm selection is currently restricted to
+// the warm-up family.
+func (b *Bao) warmupActive() bool {
+	return b.Cfg.ArmWarmup > 0 && b.trainCount < b.Cfg.ArmWarmup && len(b.warmupArms) > 0
+}
+
 // selectableArms returns the arm indices the bandit may pick right now:
 // the warm-up family while the model is young, every arm afterwards.
 func (b *Bao) selectableArms() []int {
-	if b.Cfg.ArmWarmup > 0 && b.trainCount < b.Cfg.ArmWarmup && len(b.warmupArms) > 0 {
+	if b.warmupActive() {
 		return b.warmupArms
 	}
 	all := make([]int, len(b.Cfg.Arms))
@@ -359,36 +421,79 @@ func (b *Bao) selectableArms() []int {
 // early retrain so a bad arm cannot be exploited for a whole window — the
 // "learns from its mistakes" loop of §3.2 at mistake granularity.
 func (b *Bao) Observe(sel *Selection, c executor.Counters) {
-	b.queriesSeen++
-	b.sinceTrain++
-	secs := b.Cfg.Metric.Value(c)
-	b.addExperience(Experience{
-		Tree:  sel.Trees[sel.ArmID],
-		Secs:  secs,
-		ArmID: sel.ArmID,
-		Key:   sel.SQL,
-	})
-	gross := sel.UsedModel && sel.Preds != nil &&
-		secs > 8*sel.Preds[sel.ArmID] && secs > 0.03 && b.sinceTrain >= 2
-	if (b.sinceTrain >= b.Cfg.RetrainEvery || gross) && len(b.exp) >= 16 {
-		b.Retrain()
-	}
+	o := b.observer
+	o.ExecCPUOps.Add(float64(c.CPUOps))
+	o.ExecPageHits.Add(float64(c.PageHits))
+	o.ExecPageMisses.Add(float64(c.PageMisses))
+	o.ExecRandReads.Add(float64(c.RandReads))
+	o.ExecRowsOut.Add(float64(c.RowsOut))
+	b.observe(sel, b.Cfg.Metric.Value(c), true)
 }
 
 // ObserveValue records an already-measured metric value for the selected
 // plan. Experiment harnesses that evaluate arms externally (e.g. regret
-// studies executing every arm cold) use it instead of Observe.
+// studies executing every arm cold) use it instead of Observe. Unlike
+// Observe it never triggers the gross-misprediction early retrain: the
+// caller's measurement may deliberately be off-policy (cold caches,
+// foreign hardware profiles).
 func (b *Bao) ObserveValue(sel *Selection, secs float64) {
+	b.observe(sel, secs, false)
+}
+
+// observe is the shared observation path: record metrics, append the
+// experience, and retrain on schedule (or early, when allowEarly and the
+// prediction was grossly wrong). It finishes and publishes sel.Trace.
+func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
+	obsStart := time.Now()
 	b.queriesSeen++
 	b.sinceTrain++
+	o := b.observer
+	o.Queries.Inc()
+	o.ExecSeconds.Observe(secs)
+	armName := b.Cfg.Arms[sel.ArmID].Name
+	o.ArmObserved.With(armName).Add(secs)
+	var ratio float64
+	if sel.UsedModel && sel.Preds != nil {
+		if pred := sel.Preds[sel.ArmID]; pred > 0 {
+			ratio = secs / pred
+			o.Calibration.Observe(ratio)
+			if regret := secs - pred; regret > 0 {
+				o.ArmRegret.With(armName).Add(regret)
+			}
+		}
+	}
 	b.addExperience(Experience{
 		Tree:  sel.Trees[sel.ArmID],
 		Secs:  secs,
 		ArmID: sel.ArmID,
 		Key:   sel.SQL,
 	})
-	if b.sinceTrain >= b.Cfg.RetrainEvery && len(b.exp) >= 16 {
+	o.Window.Set(float64(len(b.exp)))
+	if b.Eng != nil {
+		st := b.Eng.Pool.Stats()
+		o.PoolHits.Set(float64(st.Hits))
+		o.PoolMisses.Set(float64(st.Misses))
+		o.PoolHitRate.Set(st.HitRate())
+	}
+	mispred := sel.UsedModel && sel.Preds != nil &&
+		secs > 8*sel.Preds[sel.ArmID] && secs > 0.03
+	if mispred {
+		o.GrossMispred.Inc()
+	}
+	gross := allowEarly && mispred && b.sinceTrain >= 2
+	sel.Trace.AddSpan("observe", obsStart, time.Since(obsStart), "")
+	if (b.sinceTrain >= b.Cfg.RetrainEvery || gross) && len(b.exp) >= 16 {
+		if gross && b.sinceTrain < b.Cfg.RetrainEvery {
+			o.EarlyRetrains.Inc()
+		}
+		retrainStart := time.Now()
 		b.Retrain()
+		sel.Trace.AddSpan("retrain", retrainStart, time.Since(retrainStart), "")
+	}
+	if tr := sel.Trace; tr != nil {
+		tr.ObservedSecs = secs
+		tr.Ratio = ratio
+		o.FinishTrace(tr)
 	}
 }
 
@@ -400,6 +505,8 @@ func (b *Bao) AddExternalExperience(plan *planner.Node, c executor.Counters) {
 		Secs: b.Cfg.Metric.Value(c),
 	})
 	b.sinceTrain++
+	b.observer.External.Inc()
+	b.observer.Window.Set(float64(len(b.exp)))
 	if b.sinceTrain >= b.Cfg.RetrainEvery && len(b.exp) >= 16 {
 		b.Retrain()
 	}
@@ -465,6 +572,14 @@ func (b *Bao) Retrain() {
 		WallSeconds:   wall,
 		SimGPUSeconds: cloud.GPUTrainSeconds(len(trees), maxInt(epochs, 1)),
 	})
+	o := b.observer
+	o.Retrains.Inc()
+	o.RetrainSeconds.Add(wall)
+	o.TrainEpochs.Add(float64(epochs))
+	o.TrainSamples.Set(float64(len(trees)))
+	if lf, ok := b.Model.(interface{ LastFit() nn.TrainResult }); ok {
+		o.TrainLoss.Set(lf.LastFit().FinalLoss)
+	}
 }
 
 // enforceCritical refits with exponentially growing weight on mispredicted
@@ -619,13 +734,25 @@ func (b *Bao) Run(sql string) (*engine.Result, *Selection, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	execStart := time.Now()
 	res, err := b.Eng.Execute(sel.Plans[sel.ArmID])
 	if err != nil {
 		return nil, nil, err
 	}
+	if sel.Trace != nil {
+		sel.Trace.AddSpan("execute", execStart, time.Since(execStart),
+			fmt.Sprintf("simulated_secs=%.6f", b.Cfg.Metric.Value(res.Counters)))
+	}
 	b.Observe(sel, res.Counters)
 	return res, sel, nil
 }
+
+// Observer returns the observability sink this Bao records into.
+func (b *Bao) Observer() *obs.Observer { return b.observer }
+
+// Stats snapshots every metric in this Bao's observer — the programmatic
+// equivalent of scraping its /metrics endpoint.
+func (b *Bao) Stats() obs.Snapshot { return b.observer.Snapshot() }
 
 // Advice is advisor-mode EXPLAIN enrichment (Figure 6).
 type Advice struct {

@@ -18,6 +18,7 @@ import (
 
 	"bao/internal/bufferpool"
 	"bao/internal/catalog"
+	"bao/internal/obs"
 	"bao/internal/planner"
 	"bao/internal/sqlparser"
 	"bao/internal/storage"
@@ -53,12 +54,15 @@ func (c *Counters) Add(o Counters) {
 
 // Executor runs plans against a database through a buffer pool. When
 // Trace is non-nil, eval records each node's actual output cardinality
-// into it (EXPLAIN ANALYZE).
+// into it (EXPLAIN ANALYZE). Ops, when non-nil, counts plan-node
+// evaluations by operator (one atomic increment per node per query, so it
+// stays off the per-row hot path).
 type Executor struct {
 	DB    *storage.Database
 	Pool  *bufferpool.Pool
 	C     Counters
 	Trace map[*planner.Node]int64
+	Ops   *obs.CounterVec
 }
 
 // New constructs an executor.
@@ -94,6 +98,7 @@ func (e *Executor) page(table string, index bool, pageNo int, random bool) {
 }
 
 func (e *Executor) eval(n *planner.Node) ([]storage.Row, error) {
+	e.Ops.With(n.Op.String()).Inc()
 	rows, err := e.evalOp(n)
 	if err == nil && e.Trace != nil {
 		e.Trace[n] = int64(len(rows))

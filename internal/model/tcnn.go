@@ -20,6 +20,7 @@ type TCNNModel struct {
 	std        float64
 	yMin, yMax float64 // observed target range, in log space
 	fit        bool
+	lastFit    nn.TrainResult
 }
 
 // NewTCNN builds an untrained TCNN model for the given input feature
@@ -70,8 +71,14 @@ func (m *TCNNModel) Fit(trees []*nn.Tree, secs []float64) int {
 	m.net = nn.NewTCNN(m.cfg)
 	res := m.net.Train(trees, ys, m.train)
 	m.fit = true
+	m.lastFit = res
 	return res.Epochs
 }
+
+// LastFit returns the training summary (epochs, final loss, wall time) of
+// the most recent Fit. The observability layer reads it to export the
+// bao_train_loss gauge.
+func (m *TCNNModel) LastFit() nn.TrainResult { return m.lastFit }
 
 // Predict implements Model.
 func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {

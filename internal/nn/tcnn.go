@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // TCNNConfig describes the shape of a tree convolutional network. The
@@ -142,8 +143,9 @@ func DefaultTrainConfig() TrainConfig {
 
 // TrainResult summarizes a completed training run.
 type TrainResult struct {
-	Epochs    int
-	FinalLoss float64
+	Epochs      int
+	FinalLoss   float64
+	WallSeconds float64 // measured training wall time on this machine
 }
 
 // Train fits the network to (tree, target) pairs with mean squared error.
@@ -156,6 +158,7 @@ func (m *TCNN) Train(trees []*Tree, targets []float64, cfg TrainConfig) TrainRes
 	if len(trees) == 0 {
 		return TrainResult{}
 	}
+	trainStart := time.Now()
 	opt := NewAdam(cfg.LR)
 	params := m.Params()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -183,7 +186,8 @@ func (m *TCNN) Train(trees []*Tree, targets []float64, cfg TrainConfig) TrainRes
 			opt.Step(params)
 		}
 		epochLoss /= float64(len(order))
-		res = TrainResult{Epochs: epoch + 1, FinalLoss: epochLoss}
+		res = TrainResult{Epochs: epoch + 1, FinalLoss: epochLoss,
+			WallSeconds: time.Since(trainStart).Seconds()}
 		if epochLoss < best*(1-cfg.MinImprove) {
 			best = epochLoss
 			stale = 0

@@ -1,0 +1,200 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms) with
+// Prometheus text-format exposition, plus per-query decision traces kept
+// in a bounded ring buffer and served as JSON. It exists to make Bao's
+// practicality claims measurable: bounded optimization overhead, tail
+// latency, and the observe→retrain loop that catches regressions.
+//
+// Every metric handle is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, or *CounterVec are no-ops, so instrumented code paths need
+// no branching when observability is disabled (see Disabled).
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 value (Prometheus
+// counters are floats so they can accumulate seconds as well as events).
+type Counter struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates v. Negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates a (possibly negative) delta.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets, plus a
+// running sum and count (Prometheus histogram semantics).
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshotBuckets returns cumulative counts per upper bound (the last
+// entry is the +Inf bucket, equal to Count up to racing observations).
+func (h *Histogram) snapshotBuckets() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// CounterVec is a family of counters partitioned by one label.
+type CounterVec struct {
+	name  string
+	help  string
+	label string
+	mu    sync.RWMutex
+	kids  map[string]*Counter
+}
+
+// With returns the counter for a label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.kids[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.kids[value]; c == nil {
+		c = &Counter{name: v.name}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// Values returns a copy of the label → total map.
+func (v *CounterVec) Values() map[string]float64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]float64, len(v.kids))
+	for k, c := range v.kids {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets are the fixed histogram bounds (seconds) shared by every
+// latency metric, spanning 10µs to 10s — the range the simulated clock and
+// the real planning/training wall times both occupy.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// RatioBuckets are the bounds for the prediction-calibration histogram
+// (observed/predicted). Near 1 means the model is calibrated; the high
+// buckets count the gross mispredictions that trigger early retraining.
+func RatioBuckets() []float64 {
+	return []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.1, 1.25, 1.5, 2, 4, 8, 16}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Observer bundles every metric handle the Bao decision loop records,
+// plus an optional trace ring. A zero Observer (see Disabled) has nil
+// handles throughout; since all metric methods are nil-safe, that makes
+// instrumentation free when observability is off.
+//
+// Tracing is off until EnableTracing is called (Serve does so
+// automatically): with no listener attached the per-query cost is a
+// handful of atomic adds and no allocations.
+type Observer struct {
+	Reg *Registry
+
+	// Decision-loop counters and gauges.
+	Queries     *Counter    // bao_queries_total
+	ArmSelected *CounterVec // bao_arm_selected_total{arm}
+	ArmObserved *CounterVec // bao_arm_observed_seconds_total{arm}
+	ArmRegret   *CounterVec // bao_arm_regret_seconds_total{arm}
+	External    *Counter    // bao_external_experiences_total
+	Window      *Gauge      // bao_experience_window
+
+	// Stage latency histograms (seconds).
+	ParseSeconds  *Histogram // bao_parse_seconds
+	PlanSeconds   *Histogram // bao_planning_seconds (all arms, wall)
+	FeatSeconds   *Histogram // bao_featurize_seconds (summed across arms)
+	InferSeconds  *Histogram // bao_inference_seconds
+	SelectSeconds *Histogram // bao_selection_seconds (whole Select, wall)
+	ExecSeconds   *Histogram // bao_execution_seconds (observed metric)
+
+	// Prediction calibration and the mistake-driven retrain loop.
+	Calibration   *Histogram // bao_prediction_ratio (observed/predicted)
+	GrossMispred  *Counter   // bao_gross_mispredictions_total
+	EarlyRetrains *Counter   // bao_early_retrains_total
+
+	// Training.
+	Retrains       *Counter // bao_retrains_total
+	RetrainSeconds *Counter // bao_retrain_wall_seconds_total
+	TrainEpochs    *Counter // bao_train_epochs_total
+	TrainLoss      *Gauge   // bao_train_loss
+	TrainSamples   *Gauge   // bao_train_samples
+
+	// Execution work counters (from executor.Counters) and buffer pool.
+	ExecCPUOps     *Counter    // bao_exec_cpu_ops_total
+	ExecPageHits   *Counter    // bao_exec_page_hits_total
+	ExecPageMisses *Counter    // bao_exec_page_misses_total
+	ExecRandReads  *Counter    // bao_exec_rand_reads_total
+	ExecRowsOut    *Counter    // bao_exec_rows_out_total
+	ExecutorOps    *CounterVec // bao_executor_node_evals_total{op}
+	PoolHits       *Gauge      // bao_bufferpool_hits
+	PoolMisses     *Gauge      // bao_bufferpool_misses
+	PoolHitRate    *Gauge      // bao_bufferpool_hit_rate
+
+	ring atomic.Pointer[TraceRing]
+}
+
+// NewObserver registers the full Bao metric set on reg (get-or-create,
+// so several observers can share one registry) and attaches ring when
+// non-nil. reg must not be nil; use Disabled for a no-op observer.
+func NewObserver(reg *Registry, ring *TraceRing) *Observer {
+	lat := LatencyBuckets()
+	o := &Observer{
+		Reg: reg,
+
+		Queries:     reg.Counter("bao_queries_total", "Queries run through Bao's select-execute-observe loop."),
+		ArmSelected: reg.CounterVec("bao_arm_selected_total", "Per-arm selection counts.", "arm"),
+		ArmObserved: reg.CounterVec("bao_arm_observed_seconds_total", "Per-arm accumulated observed metric seconds.", "arm"),
+		ArmRegret:   reg.CounterVec("bao_arm_regret_seconds_total", "Per-arm accumulated positive (observed - predicted) seconds; the model's realized optimism.", "arm"),
+		External:    reg.Counter("bao_external_experiences_total", "Off-policy experiences added (advisor mode, DBA plans)."),
+		Window:      reg.Gauge("bao_experience_window", "Experiences currently in the sliding window."),
+
+		ParseSeconds:  reg.Histogram("bao_parse_seconds", "Parse+analyze wall time per query.", lat),
+		PlanSeconds:   reg.Histogram("bao_planning_seconds", "Wall time planning all arms for one query.", lat),
+		FeatSeconds:   reg.Histogram("bao_featurize_seconds", "Plan-tree featurization time per query, summed across arms.", lat),
+		InferSeconds:  reg.Histogram("bao_inference_seconds", "TCNN inference wall time per query (all arms).", lat),
+		SelectSeconds: reg.Histogram("bao_selection_seconds", "End-to-end Select (optimization overhead) wall time per query.", lat),
+		ExecSeconds:   reg.Histogram("bao_execution_seconds", "Observed metric value (simulated seconds) per executed query.", lat),
+
+		Calibration:   reg.Histogram("bao_prediction_ratio", "Observed/predicted ratio for the chosen arm (calibration; >8 triggers early retrain).", RatioBuckets()),
+		GrossMispred:  reg.Counter("bao_gross_mispredictions_total", "Executions observed >8x over prediction and slow in absolute terms."),
+		EarlyRetrains: reg.Counter("bao_early_retrains_total", "Retrains triggered by gross misprediction rather than schedule."),
+
+		Retrains:       reg.Counter("bao_retrains_total", "Model retrains (Thompson sampling draws)."),
+		RetrainSeconds: reg.Counter("bao_retrain_wall_seconds_total", "Accumulated retrain wall time."),
+		TrainEpochs:    reg.Counter("bao_train_epochs_total", "Accumulated training epochs across retrains."),
+		TrainLoss:      reg.Gauge("bao_train_loss", "Final training loss of the most recent model fit."),
+		TrainSamples:   reg.Gauge("bao_train_samples", "Training-set size of the most recent retrain."),
+
+		ExecCPUOps:     reg.Counter("bao_exec_cpu_ops_total", "Executor CPU work units charged."),
+		ExecPageHits:   reg.Counter("bao_exec_page_hits_total", "Buffer-pool page hits charged by the executor."),
+		ExecPageMisses: reg.Counter("bao_exec_page_misses_total", "Physical page reads charged by the executor."),
+		ExecRandReads:  reg.Counter("bao_exec_rand_reads_total", "Random physical reads charged by the executor."),
+		ExecRowsOut:    reg.Counter("bao_exec_rows_out_total", "Rows produced by executed plan roots."),
+		ExecutorOps:    reg.CounterVec("bao_executor_node_evals_total", "Plan-node evaluations by operator.", "op"),
+		PoolHits:       reg.Gauge("bao_bufferpool_hits", "Cumulative buffer-pool hits (engine lifetime)."),
+		PoolMisses:     reg.Gauge("bao_bufferpool_misses", "Cumulative buffer-pool misses (engine lifetime)."),
+		PoolHitRate:    reg.Gauge("bao_bufferpool_hit_rate", "Buffer-pool hit fraction over the engine lifetime."),
+	}
+	if ring != nil {
+		o.ring.Store(ring)
+	}
+	return o
+}
+
+// Disabled returns an observer whose every handle is nil: all metric
+// calls are no-ops and StartTrace returns nil. Used to measure (and
+// bound) instrumentation overhead.
+func Disabled() *Observer { return &Observer{} }
+
+var (
+	defaultOnce sync.Once
+	defaultObs  *Observer
+)
+
+// Default returns the process-wide observer. Every Bao instance without
+// an explicit Config.Observer records here, so the /metrics endpoint of a
+// command covers all optimizers in the process.
+func Default() *Observer {
+	defaultOnce.Do(func() { defaultObs = NewObserver(NewRegistry(), nil) })
+	return defaultObs
+}
+
+// EnableTracing attaches a ring buffer of the last n traces. Idempotent;
+// safe to call while queries run.
+func (o *Observer) EnableTracing(n int) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	if o.ring.Load() == nil {
+		o.ring.CompareAndSwap(nil, NewTraceRing(n))
+	}
+}
+
+// TracingEnabled reports whether a trace ring is attached.
+func (o *Observer) TracingEnabled() bool { return o != nil && o.ring.Load() != nil }
+
+// StartTrace begins a decision trace for one query, or returns nil when
+// tracing is off (all Trace methods are nil-safe).
+func (o *Observer) StartTrace(sql string) *Trace {
+	if o == nil || o.ring.Load() == nil {
+		return nil
+	}
+	return newTrace(sql)
+}
+
+// FinishTrace publishes a completed trace to the ring.
+func (o *Observer) FinishTrace(t *Trace) {
+	if o == nil || t == nil {
+		return
+	}
+	o.ring.Load().Add(t)
+}
+
+// Traces returns the retained traces, newest first (nil when tracing is
+// off).
+func (o *Observer) Traces() []*Trace {
+	if o == nil {
+		return nil
+	}
+	return o.ring.Load().Traces()
+}
+
+// Snapshot copies the current value of every metric in the observer's
+// registry.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		var r *Registry
+		return r.Snapshot()
+	}
+	return o.Reg.Snapshot()
+}

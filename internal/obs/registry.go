@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a set of named metrics and renders them in Prometheus
+// text format. Metric constructors are get-or-create: asking for an
+// existing name returns the existing metric, so several components (or
+// several Bao instances) can share one registry safely.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []string
+	metrics map[string]interface{}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]interface{})}
+}
+
+// lookup returns the existing metric under name or registers the one
+// built by mk. All registry methods are nil-safe and return nil handles
+// on a nil registry, which disables the instrumented call sites.
+func (r *Registry) lookup(name string, mk func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	r.ordered = append(r.ordered, name)
+	return m
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() interface{} { return &Counter{name: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() interface{} { return &Gauge{name: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds if needed.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() interface{} {
+		h := &Histogram{name: name, help: help, bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		return h
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+	return h
+}
+
+// CounterVec returns the named labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() interface{} {
+		return &CounterVec{name: name, help: help, label: label, kids: make(map[string]*Counter)}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+	return v
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.ordered...)
+	metrics := make([]interface{}, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			header(w, name, m.help, "counter")
+			fmt.Fprintf(w, "%s %s\n", name, fnum(m.Value()))
+		case *Gauge:
+			header(w, name, m.help, "gauge")
+			fmt.Fprintf(w, "%s %s\n", name, fnum(m.Value()))
+		case *Histogram:
+			header(w, name, m.help, "histogram")
+			cum := m.snapshotBuckets()
+			for bi, ub := range m.bounds {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fnum(ub), cum[bi])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+			fmt.Fprintf(w, "%s_sum %s\n", name, fnum(m.Sum()))
+			fmt.Fprintf(w, "%s_count %d\n", name, m.Count())
+		case *CounterVec:
+			header(w, name, m.help, "counter")
+			vals := m.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", name, m.label, k, fnum(vals[k]))
+			}
+		}
+	}
+}
+
+func header(w io.Writer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+// fnum formats a float the way Prometheus expects (shortest round-trip).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Bounds  []float64 // upper bounds, +Inf implicit
+	Buckets []int64   // cumulative counts per bound, last entry = +Inf
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, the
+// programmatic equivalent of scraping /metrics.
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+	Labeled    map[string]map[string]float64
+}
+
+// Counter returns a plain counter's value (zero when absent).
+func (s Snapshot) Counter(name string) float64 { return s.Counters[name] }
+
+// Gauge returns a gauge's value (zero when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Labeled:    map[string]map[string]float64{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	metrics := make(map[string]interface{}, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	r.mu.Unlock()
+	for name, m := range metrics {
+		switch m := m.(type) {
+		case *Counter:
+			s.Counters[name] = m.Value()
+		case *Gauge:
+			s.Gauges[name] = m.Value()
+		case *Histogram:
+			s.Histograms[name] = HistogramSnapshot{
+				Count:   m.Count(),
+				Sum:     m.Sum(),
+				Bounds:  append([]float64(nil), m.bounds...),
+				Buckets: m.snapshotBuckets(),
+			}
+		case *CounterVec:
+			s.Labeled[name] = m.Values()
+		}
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of the Bao decision loop (parse, per-arm
+// planning, featurization, inference, selection, execution, observe,
+// retrain). Offsets are relative to the trace start so spans render as a
+// waterfall without clock arithmetic.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"` // offset from trace start, microseconds
+	DurUS   int64  `json:"dur_us"`   // duration, microseconds
+	Note    string `json:"note,omitempty"`
+}
+
+// Trace is the decision record of a single query: which arm was chosen
+// and why-shaped metadata (predictions, warm-up state, window size), plus
+// one span per loop stage. Traces are built by a single goroutine; the
+// ring buffer copy-on-read makes serving them concurrently safe.
+type Trace struct {
+	ID            uint64    `json:"id"`
+	SQL           string    `json:"sql"`
+	Start         time.Time `json:"start"`
+	ArmID         int       `json:"arm_id"`
+	ArmName       string    `json:"arm_name"`
+	UsedModel     bool      `json:"used_model"`
+	WarmUp        bool      `json:"warm_up"`
+	WindowSize    int       `json:"window_size"`
+	PredictedSecs float64   `json:"predicted_secs"`
+	ObservedSecs  float64   `json:"observed_secs"`
+	Ratio         float64   `json:"observed_over_predicted,omitempty"`
+	Spans         []Span    `json:"spans"`
+
+	start time.Time // monotonic anchor for span offsets
+}
+
+var traceID atomic.Uint64
+
+// newTrace starts a trace anchored at now.
+func newTrace(sql string) *Trace {
+	now := time.Now()
+	return &Trace{
+		ID:    traceID.Add(1),
+		SQL:   sql,
+		Start: now,
+		Spans: make([]Span, 0, 10),
+		start: now,
+	}
+}
+
+// AddSpan appends a stage that began at start and ran for dur. Nil-safe,
+// so instrumented code never branches on whether tracing is enabled.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration, note string) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{
+		Name:    name,
+		StartUS: start.Sub(t.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Note:    note,
+	})
+}
+
+// TraceRing keeps the last N finished traces.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+// NewTraceRing creates a ring holding up to n traces (n < 1 is clamped
+// to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*Trace, n)}
+}
+
+// Add stores a finished trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns the stored traces, newest first.
+func (r *TraceRing) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := r.next - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
