@@ -1,0 +1,129 @@
+package bao_test
+
+// Sequential-vs-parallel pairs for the TCNN hot path: training
+// (data-parallel mini-batches), inference (tree fan-out), and Select
+// (plan deduplication). Each pair lands in BENCH_results.json; the
+// recorded core count says whether wall-clock speedups were possible on
+// the benchmarking machine (workers>1 cannot beat workers=1 on one core,
+// but results are bit-identical either way).
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bao"
+	"bao/internal/model"
+	"bao/internal/nn"
+	"bao/internal/workload"
+)
+
+const benchTreeDim = 16
+
+// benchTrees builds a reproducible set of strictly binary feature trees.
+func benchTrees(n int) ([]*nn.Tree, []float64) {
+	rng := rand.New(rand.NewSource(5))
+	trees := make([]*nn.Tree, 0, n)
+	ys := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		size := 5 + 2*rng.Intn(6) // odd node counts keep the tree strictly binary
+		t := nn.NewTree(size, benchTreeDim)
+		for j := 0; j+2 < size; j += 2 {
+			t.Left[j/2] = j + 1
+			t.Right[j/2] = j + 2
+		}
+		for j := range t.Feat {
+			t.Feat[j] = rng.Float64()
+		}
+		trees = append(trees, t)
+		ys = append(ys, rng.Float64())
+	}
+	return trees, ys
+}
+
+func BenchmarkTrain(b *testing.B) {
+	trees, ys := benchTrees(256)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := nn.DefaultTCNNConfig(benchTreeDim)
+			cfg.Seed = 3
+			tc := nn.DefaultTrainConfig()
+			tc.MaxEpochs = 5
+			tc.Patience = 10 // fixed epoch count: no early stop inside the loop
+			tc.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := nn.NewTCNN(cfg)
+				m.Train(trees, ys, tc)
+			}
+			b.StopTimer()
+			recordBench(b, 0)
+		})
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	trees, ys := benchTrees(128)
+	tc := nn.DefaultTrainConfig()
+	tc.MaxEpochs = 3
+	m := model.NewTCNN(benchTreeDim, tc, 7)
+	m.Fit(trees, ys)
+	batch := trees[:49] // one prediction fan per arm family
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Predict(batch)
+			}
+			b.StopTimer()
+			recordBench(b, 0)
+		})
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	inst := workload.IMDb(workload.Config{Scale: 0.06, Queries: 60, Seed: 42})
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	if err := inst.Setup(eng); err != nil {
+		b.Fatal(err)
+	}
+	// Train one model, then share it across the variants so both measure
+	// the identical dedup → featurize → predict path minus dedup.
+	cfg := bao.FastConfig()
+	cfg.RetrainEvery = 25
+	cfg.Train.MaxEpochs = 10
+	opt := bao.New(eng, cfg)
+	for _, q := range inst.Queries {
+		if _, _, err := opt.Run(q.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var saved bytes.Buffer
+	if err := opt.SaveModel(&saved); err != nil {
+		b.Fatal(err)
+	}
+	sql := inst.Queries[0].SQL
+	for _, v := range []struct {
+		name    string
+		noDedup bool
+	}{{"dedup", false}, {"nodedup", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			c := bao.FastConfig()
+			c.NoPlanDedup = v.noDedup
+			o := bao.New(eng, c)
+			if err := o.LoadModel(bytes.NewReader(saved.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Select(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			recordBench(b, 0)
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -31,6 +32,10 @@ type benchRow struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	// Cores records GOMAXPROCS at run time: the sequential-vs-parallel
+	// pairs (Train, Predict, Select) can only show wall-clock speedups
+	// when this exceeds 1.
+	Cores int `json:"cores"`
 }
 
 var benchResults struct {
@@ -47,7 +52,8 @@ func recordBench(b *testing.B, queriesPerIter int) {
 	if b.N == 0 || elapsed <= 0 {
 		return
 	}
-	row := benchRow{Name: b.Name(), NsPerOp: float64(elapsed.Nanoseconds()) / float64(b.N)}
+	row := benchRow{Name: b.Name(), NsPerOp: float64(elapsed.Nanoseconds()) / float64(b.N),
+		Cores: runtime.GOMAXPROCS(0)}
 	if queriesPerIter > 0 {
 		row.QueriesPerSec = float64(queriesPerIter*b.N) / elapsed.Seconds()
 	}
@@ -60,8 +66,20 @@ func recordBench(b *testing.B, queriesPerIter int) {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchResults.mu.Lock()
-	rows := benchResults.rows
+	all := benchResults.rows
 	benchResults.mu.Unlock()
+	// The harness may invoke a benchmark several times while calibrating
+	// b.N; keep only the final (highest-N) record of each name.
+	last := make(map[string]int, len(all))
+	rows := all[:0:0]
+	for _, r := range all {
+		if i, ok := last[r.Name]; ok {
+			rows[i] = r
+			continue
+		}
+		last[r.Name] = len(rows)
+		rows = append(rows, r)
+	}
 	if len(rows) > 0 {
 		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
 			if err := os.WriteFile("BENCH_results.json", append(buf, '\n'), 0o644); err != nil {

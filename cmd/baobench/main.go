@@ -26,6 +26,8 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale multiplier")
 	queries := flag.Int("queries", 1200, "workload stream length")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
+	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address while experiments run")
 	flag.Parse()
 
@@ -39,7 +41,8 @@ func main() {
 		fmt.Printf("observability: http://%s/metrics and /debug/traces\n", srv.Addr)
 	}
 
-	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed, Out: os.Stdout}
+	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed,
+		Workers: *workers, ParallelPlanning: *parallelPlanning, Out: os.Stdout}
 	s := harness.NewSession(opts)
 
 	experiments := map[string]func() error{

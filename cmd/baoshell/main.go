@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0]
+//	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0] [-workers N] [-parallel-planning]
 //
 // With -train N, Bao first learns from N workload queries so EXPLAIN
 // advice and SET enable_bao are useful immediately.
@@ -33,6 +33,8 @@ func main() {
 	wlName := flag.String("workload", "IMDb", "dataset to load (IMDb, Stack, Corp)")
 	scale := flag.Float64("scale", 0.25, "dataset scale")
 	train := flag.Int("train", 0, "pre-train Bao on this many workload queries")
+	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
+	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
@@ -54,7 +56,10 @@ func main() {
 	if err := inst.Setup(eng); err != nil {
 		fatal(err)
 	}
-	opt := bao.New(eng, bao.FastConfig())
+	cfg := bao.FastConfig()
+	cfg.Workers = *workers
+	cfg.ParallelPlanning = *parallelPlanning
+	opt := bao.New(eng, cfg)
 	if *train > 0 {
 		fmt.Printf("pre-training Bao on %d queries...\n", *train)
 		for _, q := range inst.Queries[:*train] {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bao/internal/cloud"
@@ -79,6 +80,17 @@ type Config struct {
 	// parallel planning time analytically (cloud.BaoPlanSeconds) and
 	// single-goroutine planning keeps runs deterministic profile-to-wall.
 	ParallelPlanning bool
+	// Workers bounds the goroutines used by every parallel stage of the
+	// decision loop: arm planning (when ParallelPlanning is on), TCNN
+	// inference, and model training. Zero or negative means one worker
+	// per CPU; one forces fully sequential execution. Results are
+	// bit-identical at every worker count.
+	Workers int
+	// NoPlanDedup disables the per-query plan deduplication that
+	// featurizes and predicts each distinct plan once (§2: most of the 49
+	// hint sets collapse to a handful of distinct plans). Exists for
+	// benchmarks and ablation; selections are identical either way.
+	NoPlanDedup bool
 	// NewModel overrides the value model (Figure 15a swaps in RF/Linear).
 	// When nil a TCNN is used.
 	NewModel func() model.Model
@@ -143,7 +155,11 @@ type Selection struct {
 	Trees      []*nn.Tree
 	Preds      []float64 // model predictions (seconds); nil before first train
 	Candidates []int     // planner effort per arm, for the optimization-time model
-	UsedModel  bool
+	// UniquePlans is how many distinct plans the arms produced this query
+	// (equal to len(Plans) when dedup is disabled). Featurization and
+	// inference ran once per distinct plan, not once per arm.
+	UniquePlans int
+	UsedModel   bool
 	// Trace is the in-flight decision trace for this query; nil unless
 	// the observer has tracing enabled. Observe/ObserveValue finish and
 	// publish it.
@@ -194,6 +210,9 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 	if cfg.RetrainEvery <= 0 {
 		cfg.RetrainEvery = 100
 	}
+	if cfg.Train.Workers == 0 {
+		cfg.Train.Workers = cfg.Workers
+	}
 	b := &Bao{
 		Cfg:        cfg,
 		Eng:        eng,
@@ -210,6 +229,9 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 		b.Model = cfg.NewModel()
 	} else {
 		b.Model = model.NewTCNN(FeatureDim, cfg.Train, cfg.Seed)
+	}
+	if w, ok := b.Model.(interface{ SetWorkers(int) }); ok {
+		w.SetWorkers(cfg.Workers)
 	}
 	// Resolve the warm-up family to indices in the configured arm list.
 	if cfg.ArmWarmup > 0 {
@@ -265,9 +287,12 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 	sel.Plans = make([]*planner.Node, len(b.Cfg.Arms))
 	sel.Candidates = make([]int, len(b.Cfg.Arms))
 	sel.Trees = make([]*nn.Tree, len(b.Cfg.Arms))
-	featDur := make([]time.Duration, len(b.Cfg.Arms))
+	workers := 1
 	if b.Cfg.ParallelPlanning {
-		if err := b.planArmsParallel(q, sel, featDur); err != nil {
+		workers = b.planArmWorkers()
+	}
+	if workers > 1 {
+		if err := b.planArmsParallel(q, sel, workers); err != nil {
 			return nil, err
 		}
 	} else {
@@ -278,26 +303,49 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 			}
 			sel.Plans[i] = n
 			sel.Candidates[i] = cands
-			featStart := time.Now()
-			sel.Trees[i] = b.Feat.Vectorize(n)
-			featDur[i] = time.Since(featStart)
 		}
 	}
 	planDone := time.Now()
-	var feat time.Duration
-	for _, d := range featDur {
-		feat += d
-	}
 	o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
-	o.FeatSeconds.Observe(feat.Seconds())
+	// Deduplicate before featurizing: hint sets routinely collapse to the
+	// same physical plan, and identical plans featurize to identical trees
+	// and predictions, so each distinct plan is vectorized and inferred
+	// exactly once and the result fanned back out per arm.
+	var armGroup []int
+	if b.Cfg.NoPlanDedup {
+		armGroup = make([]int, len(sel.Plans))
+		for i := range armGroup {
+			armGroup[i] = i
+		}
+		sel.UniquePlans = len(sel.Plans)
+	} else {
+		armGroup, sel.UniquePlans = dedupPlans(sel.Plans)
+	}
+	o.PlansDeduped.Add(float64(len(sel.Plans) - sel.UniquePlans))
+	uniqTrees := make([]*nn.Tree, sel.UniquePlans)
+	for i, g := range armGroup {
+		if uniqTrees[g] == nil {
+			uniqTrees[g] = b.Feat.Vectorize(sel.Plans[i])
+		}
+		sel.Trees[i] = uniqTrees[g]
+	}
+	featDone := time.Now()
+	o.FeatSeconds.Observe(featDone.Sub(planDone).Seconds())
 	if tr != nil {
+		tr.Workers = workers
+		tr.UniquePlans = sel.UniquePlans
 		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone),
-			fmt.Sprintf("arms=%d parallel=%v", len(b.Cfg.Arms), b.Cfg.ParallelPlanning))
-		tr.AddSpan("featurize", parseDone, feat, "summed across arms; overlaps plan_arms")
+			fmt.Sprintf("arms=%d parallel=%v workers=%d", len(b.Cfg.Arms), b.Cfg.ParallelPlanning, workers))
+		tr.AddSpan("featurize", planDone, featDone.Sub(planDone),
+			fmt.Sprintf("unique=%d deduped=%d", sel.UniquePlans, len(sel.Plans)-sel.UniquePlans))
 	}
 	if b.trained {
 		inferStart := time.Now()
-		sel.Preds = b.Model.Predict(sel.Trees)
+		uniqPreds := b.Model.Predict(uniqTrees)
+		sel.Preds = make([]float64, len(armGroup))
+		for i, g := range armGroup {
+			sel.Preds[i] = uniqPreds[g]
+		}
 		inferDone := time.Now()
 		o.InferSeconds.Observe(inferDone.Sub(inferStart).Seconds())
 		tr.AddSpan("infer", inferStart, inferDone.Sub(inferStart), "")
@@ -322,22 +370,19 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		if len(sane) > 0 {
 			candidates = sane
 		}
-		best := candidates[0]
-		for _, i := range candidates {
-			if sel.Preds[i] < sel.Preds[best] {
-				best = i
-			}
-		}
-		// Exact ties happen when several plans look identical to the model
-		// (identical trees under different hints, or unexplored regions
-		// clamped to the same floor). Break them with the traditional
-		// optimizer's cost estimate — the "leverage the wisdom built into
-		// existing optimizers" principle: the model decides when it has
-		// signal, the cost model when it has none. The band is exact
+		// Exact ties are the common case once dedup runs: every arm in a
+		// dedup group carries the same prediction. Break them with the
+		// traditional optimizer's cost estimate — the "leverage the wisdom
+		// built into existing optimizers" principle: the model decides when
+		// it has signal, the cost model when it has none. The band is exact
 		// equality on purpose: any wider and the cost model would override
-		// the learned signal on the trap queries Bao exists to fix.
-		for _, i := range candidates {
-			if sel.Preds[i] == sel.Preds[best] && sel.Plans[i].EstCost < sel.Plans[best].EstCost {
+		// the learned signal on the trap queries Bao exists to fix. Both
+		// comparisons are strict, so on a full (pred, cost) tie the lowest
+		// arm index wins and the choice is stable run to run.
+		best := candidates[0]
+		for _, i := range candidates[1:] {
+			if sel.Preds[i] < sel.Preds[best] ||
+				(sel.Preds[i] == sel.Preds[best] && sel.Plans[i].EstCost < sel.Plans[best].EstCost) {
 				best = i
 			}
 		}
@@ -360,33 +405,52 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 	return sel, nil
 }
 
-// planArmsParallel plans every arm concurrently. Each goroutine gets its
-// own Optimizer (the schema and statistics it reads are immutable between
-// queries); the buffer-pool-backed cache features are read without
-// mutation, so featurization is safe too. Per-arm featurization times land
-// in featDur (disjoint indices, so no synchronization beyond the
-// WaitGroup is needed — the metrics themselves are atomic).
-func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, featDur []time.Duration) error {
-	var wg sync.WaitGroup
+// planArmWorkers resolves Config.Workers to the fan-out used for arm
+// planning: at most one worker per arm, at least one.
+func (b *Bao) planArmWorkers() int {
+	w := nn.Workers(b.Cfg.Workers)
+	if w > len(b.Cfg.Arms) {
+		w = len(b.Cfg.Arms)
+	}
+	return w
+}
+
+// planArmsParallel plans the arms across a bounded pool of workers rather
+// than one goroutine per arm: arms are claimed from an atomic cursor, and
+// the calling goroutine serves as one of the workers so workers=2 spawns a
+// single extra goroutine. Each arm gets its own Optimizer (the schema and
+// statistics it reads are immutable between queries); all writes land at
+// disjoint indices, so no synchronization beyond the WaitGroup is needed.
+func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, workers int) error {
 	errs := make([]error, len(b.Cfg.Arms))
-	for i, arm := range b.Cfg.Arms {
-		wg.Add(1)
-		go func(i int, arm Arm) {
-			defer wg.Done()
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(b.Cfg.Arms) {
+				return
+			}
+			arm := b.Cfg.Arms[i]
 			opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
 				Sampling: b.Eng.Grade() == engine.GradeComSys}
 			n, err := opt.Plan(q, arm.Hints)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
-				return
+				continue
 			}
 			sel.Plans[i] = n
 			sel.Candidates[i] = opt.LastCandidates
-			featStart := time.Now()
-			sel.Trees[i] = b.Feat.Vectorize(n)
-			featDur[i] = time.Since(featStart)
-		}(i, arm)
+		}
 	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

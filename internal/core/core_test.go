@@ -366,6 +366,7 @@ func TestParallelPlanningMatchesSerial(t *testing.T) {
 	}
 	cfg := FastConfig()
 	cfg.ParallelPlanning = true
+	cfg.Workers = 4 // force the pool even on a single-CPU machine
 	par := New(e, cfg)
 	s2, err := par.Select(sql)
 	if err != nil {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"bao/internal/obs"
+	"bao/internal/planner"
+	"bao/internal/workload"
+)
+
+// trainedBao runs enough of the IMDb workload through Bao for the model to
+// train, so Select exercises the full dedup → featurize → predict path.
+func trainedBao(t *testing.T, cfg Config) *Bao {
+	t.Helper()
+	e := buildIMDbEngine(t)
+	cfg.RetrainEvery = 20
+	cfg.Train.MaxEpochs = 5
+	b := New(e, cfg)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 30, Seed: 42})
+	for _, q := range inst.Queries {
+		if _, _, err := b.Run(q.SQL); err != nil {
+			t.Fatalf("%s: %v", q.Template, err)
+		}
+	}
+	if !b.Trained() {
+		t.Fatal("model never trained")
+	}
+	return b
+}
+
+func TestPlanFingerprintDistinguishesPlans(t *testing.T) {
+	scan := func(table string, rows float64) *planner.Node {
+		return &planner.Node{Op: planner.OpSeqScan, Table: table, EstRows: rows, EstCost: rows}
+	}
+	a := &planner.Node{Op: planner.OpHashJoin, EstRows: 10, EstCost: 30,
+		Left: scan("title", 5), Right: scan("cast_info", 7)}
+	same := &planner.Node{Op: planner.OpHashJoin, EstRows: 10, EstCost: 30,
+		Left: scan("title", 5), Right: scan("cast_info", 7)}
+	if planFingerprint(a) != planFingerprint(same) {
+		t.Fatal("structurally identical plans got different fingerprints")
+	}
+	swapped := &planner.Node{Op: planner.OpHashJoin, EstRows: 10, EstCost: 30,
+		Left: scan("cast_info", 7), Right: scan("title", 5)}
+	if planFingerprint(a) == planFingerprint(swapped) {
+		t.Fatal("child order not reflected in fingerprint")
+	}
+	otherOp := &planner.Node{Op: planner.OpMergeJoin, EstRows: 10, EstCost: 30,
+		Left: scan("title", 5), Right: scan("cast_info", 7)}
+	if planFingerprint(a) == planFingerprint(otherOp) {
+		t.Fatal("operator not reflected in fingerprint")
+	}
+	// Shape: a right-deep chain must differ from a left-deep chain even
+	// when the node multiset is identical.
+	left := &planner.Node{Op: planner.OpNestLoop, EstRows: 1, EstCost: 1,
+		Left: a, Right: scan("title", 5)}
+	right := &planner.Node{Op: planner.OpNestLoop, EstRows: 1, EstCost: 1,
+		Left: scan("title", 5), Right: a}
+	if planFingerprint(left) == planFingerprint(right) {
+		t.Fatal("tree shape not reflected in fingerprint")
+	}
+}
+
+func TestDedupPlansGroups(t *testing.T) {
+	s1 := &planner.Node{Op: planner.OpSeqScan, Table: "title", EstRows: 5, EstCost: 5}
+	s2 := &planner.Node{Op: planner.OpSeqScan, Table: "title", EstRows: 5, EstCost: 5}
+	s3 := &planner.Node{Op: planner.OpIndexScan, Table: "title", EstRows: 5, EstCost: 2}
+	groupOf, groups := dedupPlans([]*planner.Node{s1, s2, s3, s1})
+	if groups != 2 {
+		t.Fatalf("groups = %d, want 2", groups)
+	}
+	want := []int{0, 0, 1, 0}
+	for i, g := range groupOf {
+		if g != want[i] {
+			t.Fatalf("armGroup = %v, want %v", groupOf, want)
+		}
+	}
+}
+
+// Dedup must be invisible in the selection outcome: same arm, same per-arm
+// predictions as a dedup-disabled Bao, while featurizing and predicting
+// strictly fewer trees (counted by bao_plans_deduped_total).
+func TestSelectDedupMatchesNoDedup(t *testing.T) {
+	sql := "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.kind_id = 3 AND t.votes > 1000"
+
+	cfg := FastConfig()
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := trainedBao(t, cfg)
+
+	plain := FastConfig()
+	plain.NoPlanDedup = true
+	p := trainedBao(t, plain)
+
+	sel, err := b.Select(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Select(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.UniquePlans >= len(sel.Plans) {
+		t.Fatalf("no dedup happened: %d unique of %d arms", sel.UniquePlans, len(sel.Plans))
+	}
+	if ref.UniquePlans != len(ref.Plans) {
+		t.Fatalf("NoPlanDedup run deduped: %d unique of %d arms", ref.UniquePlans, len(ref.Plans))
+	}
+	if sel.ArmID != ref.ArmID {
+		t.Fatalf("dedup changed the selected arm: %d vs %d", sel.ArmID, ref.ArmID)
+	}
+	// Both models trained on the same stream with the same seed, so the
+	// per-arm predictions must agree arm-for-arm.
+	for i := range sel.Preds {
+		if sel.Preds[i] != ref.Preds[i] {
+			t.Fatalf("arm %d: dedup pred %g != reference %g", i, sel.Preds[i], ref.Preds[i])
+		}
+	}
+	if v := cfg.Observer.Snapshot().Counter("bao_plans_deduped_total"); v <= 0 {
+		t.Fatalf("bao_plans_deduped_total = %v, want > 0", v)
+	}
+}
+
+// The merged (prediction, cost) tie-break must be stable: among arms tied
+// on both keys the lowest index wins, and a cheaper plan at equal
+// prediction is preferred regardless of scan order.
+func TestTieBreakStable(t *testing.T) {
+	b := trainedBao(t, FastConfig())
+	sql := "SELECT COUNT(*) FROM title t WHERE t.kind_id = 3"
+	first, err := b.Select(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		sel, err := b.Select(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.ArmID != first.ArmID {
+			t.Fatalf("trial %d chose arm %d, first chose %d", trial, sel.ArmID, first.ArmID)
+		}
+		// No selectable arm may strictly dominate the winner on the
+		// (prediction, cost, index) order.
+		minCost := sel.Plans[sel.ArmID].EstCost
+		for _, i := range b.selectableArms() {
+			if sel.Plans[i].EstCost < minCost {
+				minCost = sel.Plans[i].EstCost
+			}
+		}
+		for _, i := range b.selectableArms() {
+			if sel.Plans[i].EstCost > minCost*100 {
+				continue // outside the cost-sanity band
+			}
+			if sel.Preds[i] < sel.Preds[sel.ArmID] {
+				t.Fatalf("arm %d has lower prediction than chosen arm %d", i, sel.ArmID)
+			}
+			if sel.Preds[i] == sel.Preds[sel.ArmID] {
+				if sel.Plans[i].EstCost < sel.Plans[sel.ArmID].EstCost {
+					t.Fatalf("arm %d ties on prediction with cheaper plan than chosen arm %d", i, sel.ArmID)
+				}
+				if sel.Plans[i].EstCost == sel.Plans[sel.ArmID].EstCost && i < sel.ArmID {
+					t.Fatalf("arm %d ties on prediction and cost but has lower index than chosen arm %d", i, sel.ArmID)
+				}
+			}
+		}
+	}
+}

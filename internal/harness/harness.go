@@ -27,7 +27,13 @@ type Options struct {
 	Scale   float64
 	Queries int
 	Seed    int64
-	Out     io.Writer
+	// Workers bounds the goroutines Bao uses for planning, inference, and
+	// training (core.Config.Workers). Zero means one per CPU.
+	Workers int
+	// ParallelPlanning turns on concurrent arm planning
+	// (core.Config.ParallelPlanning).
+	ParallelPlanning bool
+	Out              io.Writer
 }
 
 // DefaultOptions returns the standard experiment scale (cmd/baobench's

@@ -50,6 +50,8 @@ func (s *Session) Instance(name string) (*workload.Instance, error) {
 func (s *Session) BaoConfig() core.Config {
 	cfg := core.FastConfig()
 	cfg.Seed = s.Opts.Seed
+	cfg.Workers = s.Opts.Workers
+	cfg.ParallelPlanning = s.Opts.ParallelPlanning
 	return cfg
 }
 

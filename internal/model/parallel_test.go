@@ -1,0 +1,63 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"bao/internal/nn"
+)
+
+// Parallel Predict must return exactly the sequential result: replicas
+// share weights read-only and each output index is written by one worker.
+// Run under -race this also exercises the fan-out for data races.
+func TestPredictParallelMatchesSequential(t *testing.T) {
+	trees, secs := syntheticData(120, 3)
+	tc := nn.DefaultTrainConfig()
+	tc.MaxEpochs = 3
+	m := NewTCNN(4, tc, 7)
+	m.Fit(trees[:60], secs[:60])
+
+	m.SetWorkers(1)
+	want := m.Predict(trees[60:])
+	m.SetWorkers(4)
+	got := m.Predict(trees[60:])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parallel Predict[%d] = %g, sequential = %g", i, got[i], want[i])
+		}
+	}
+	// Replicas must survive (and follow) a refit and a reload.
+	m.Fit(trees[:60], secs[:60])
+	_ = m.Predict(trees[60:])
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewTCNN(4, tc, 7)
+	m2.SetWorkers(4)
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := m2.Predict(trees[60:])
+	m2.SetWorkers(1)
+	seq := m2.Predict(trees[60:])
+	for i := range seq {
+		if reloaded[i] != seq[i] {
+			t.Fatalf("reloaded parallel Predict[%d] = %g, sequential = %g", i, reloaded[i], seq[i])
+		}
+	}
+}
+
+// Small batches must stay on the sequential path (no replica allocation).
+func TestPredictSmallBatchSequential(t *testing.T) {
+	trees, secs := syntheticData(40, 5)
+	tc := nn.DefaultTrainConfig()
+	tc.MaxEpochs = 2
+	m := NewTCNN(4, tc, 11)
+	m.Fit(trees, secs)
+	m.SetWorkers(8)
+	_ = m.Predict(trees[:parallelPredictMin-1])
+	if len(m.replicas) != 0 {
+		t.Fatalf("small batch allocated %d replicas", len(m.replicas))
+	}
+}

@@ -41,6 +41,7 @@ func (m *TCNNModel) Load(r io.Reader) error {
 	}
 	m.cfg = st.Cfg
 	m.net = nn.NewTCNN(st.Cfg)
+	m.replicas = nil // inference replicas alias the replaced network
 	// Validate shape compatibility before restoring.
 	params := m.net.Params()
 	if len(params) != len(st.Weights) {

@@ -3,6 +3,8 @@ package model
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bao/internal/nn"
 )
@@ -21,6 +23,8 @@ type TCNNModel struct {
 	yMin, yMax float64 // observed target range, in log space
 	fit        bool
 	lastFit    nn.TrainResult
+	workers    int        // inference fan-out; 0 = one per CPU
+	replicas   []*nn.TCNN // weight-sharing inference replicas (lazy)
 }
 
 // NewTCNN builds an untrained TCNN model for the given input feature
@@ -69,10 +73,22 @@ func (m *TCNNModel) Fit(trees []*nn.Tree, secs []float64) int {
 	}
 	m.cfg.Seed++ // fresh initialization per bootstrap
 	m.net = nn.NewTCNN(m.cfg)
+	m.replicas = nil // replicas alias the old network's weights
 	res := m.net.Train(trees, ys, m.train)
 	m.fit = true
 	m.lastFit = res
 	return res.Epochs
+}
+
+// SetWorkers caps the goroutines Predict fans trees across (and, when the
+// training config leaves Workers unset, the training data parallelism).
+// Zero or negative means one worker per CPU; results are identical at any
+// worker count.
+func (m *TCNNModel) SetWorkers(n int) {
+	m.workers = n
+	if m.train.Workers == 0 {
+		m.train.Workers = n
+	}
 }
 
 // LastFit returns the training summary (epochs, final loss, wall time) of
@@ -80,26 +96,69 @@ func (m *TCNNModel) Fit(trees []*nn.Tree, secs []float64) int {
 // bao_train_loss gauge.
 func (m *TCNNModel) LastFit() nn.TrainResult { return m.lastFit }
 
-// Predict implements Model.
+// parallelPredictMin is the tree count below which Predict stays on the
+// sequential path: with only a handful of trees the goroutine fan-out
+// costs more than the forward passes it would overlap.
+const parallelPredictMin = 8
+
+// Predict implements Model. Trees are fanned across weight-sharing
+// network replicas (one per worker, cached across calls); every output
+// index is computed by exactly one worker from read-only weights, so the
+// result is identical to the sequential loop at any worker count.
 func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {
 	out := make([]float64, len(trees))
 	if !m.fit {
 		return out
 	}
-	for i, t := range trees {
-		y := m.net.Forward(t)*m.std + m.mean
-		// Clamp to the observed target range: the model has no basis for
-		// predicting performance outside what it has seen, and an argmin
-		// over arms would otherwise chase wild extrapolations.
-		if y < m.yMin {
-			y = m.yMin
-		}
-		if y > m.yMax {
-			y = m.yMax
-		}
-		out[i] = invTransform(y)
+	w := nn.Workers(m.workers)
+	if w > len(trees) {
+		w = len(trees)
 	}
+	if w <= 1 || len(trees) < parallelPredictMin {
+		for i, t := range trees {
+			out[i] = m.postprocess(m.net.Forward(t))
+		}
+		return out
+	}
+	for len(m.replicas) < w-1 {
+		m.replicas = append(m.replicas, m.net.SharedReplica())
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func(net *nn.TCNN) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(trees) {
+				return
+			}
+			out[i] = m.postprocess(net.Forward(trees[i]))
+		}
+	}
+	for i := 0; i < w-1; i++ {
+		wg.Add(1)
+		go func(net *nn.TCNN) {
+			defer wg.Done()
+			run(net)
+		}(m.replicas[i])
+	}
+	run(m.net)
+	wg.Wait()
 	return out
+}
+
+// postprocess maps a raw normalized network output back to seconds.
+func (m *TCNNModel) postprocess(raw float64) float64 {
+	y := raw*m.std + m.mean
+	// Clamp to the observed target range: the model has no basis for
+	// predicting performance outside what it has seen, and an argmin
+	// over arms would otherwise chase wild extrapolations.
+	if y < m.yMin {
+		y = m.yMin
+	}
+	if y > m.yMax {
+		y = m.yMax
+	}
+	return invTransform(y)
 }
 
 // Trained reports whether the model has been fit at least once.

@@ -13,14 +13,21 @@ type Adam struct {
 	// matters because Bao's arm selection is an argmin over predictions.
 	WeightDecay float64
 	t           int
-	m, v        map[*Param][]float64
+	state       map[*Param]*moments
+}
+
+// moments are one parameter's first and second moment estimates, kept as a
+// pair so Step pays one map lookup per parameter instead of two (Step runs
+// once per mini-batch on the training hot path).
+type moments struct {
+	m, v []float64
 }
 
 // NewAdam constructs an Adam optimizer with the paper-standard moment
 // decays (0.9, 0.999).
 func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 1e-4,
-		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+		state: make(map[*Param]*moments)}
 }
 
 // Step applies one update from the accumulated gradients and clears them.
@@ -29,16 +36,12 @@ func (a *Adam) Step(params []*Param) {
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for _, p := range params {
-		m := a.m[p]
-		if m == nil {
-			m = make([]float64, len(p.W))
-			a.m[p] = m
+		st := a.state[p]
+		if st == nil {
+			st = &moments{m: make([]float64, len(p.W)), v: make([]float64, len(p.W))}
+			a.state[p] = st
 		}
-		v := a.v[p]
-		if v == nil {
-			v = make([]float64, len(p.W))
-			a.v[p] = v
-		}
+		m, v := st.m, st.v
 		for i, g := range p.G {
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
 			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
@@ -54,6 +57,5 @@ func (a *Adam) Step(params []*Param) {
 // a fresh model is trained on a new bootstrap sample.
 func (a *Adam) Reset() {
 	a.t = 0
-	a.m = make(map[*Param][]float64)
-	a.v = make(map[*Param][]float64)
+	a.state = make(map[*Param]*moments)
 }

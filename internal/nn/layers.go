@@ -5,6 +5,42 @@ import (
 	"math/rand"
 )
 
+// Layers keep their forward/backward output buffers between calls
+// (scratch and zeroedScratch below), so the per-node allocation churn of
+// the training and inference hot loops is paid once per layer instead of
+// once per pass. The contract: a layer's forward output (and the tree
+// wrapping it) is valid only until that layer's next Forward, and its
+// backward output only until its next Backward — exactly the lifetime the
+// TCNN's forward→backward pass structure needs. Layers are therefore not
+// goroutine-safe; concurrent passes use replicas (see SharedReplica).
+
+// scratch returns buf resized to n, reusing its capacity when possible.
+// Contents are unspecified; callers must overwrite every element.
+func scratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// zeroedScratch returns buf resized to n with every element zeroed, for
+// buffers built up by accumulation (+=).
+func zeroedScratch(buf []float64, n int) []float64 {
+	buf = scratch(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// scratchInts is scratch for index buffers.
+func scratchInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
 // TreeConv is a tree convolution layer (Mou et al.). For every node i with
 // children l and r it computes
 //
@@ -16,7 +52,8 @@ type TreeConv struct {
 	In, Out              int
 	Wroot, Wleft, Wright *Param
 	B                    *Param
-	lastIn               *Tree // cached for backward
+	lastIn               *Tree     // cached for backward
+	outBuf, dInBuf       []float64 // reused pass buffers
 }
 
 // NewTreeConv constructs a tree convolution mapping In-dim node features to
@@ -34,7 +71,8 @@ func NewTreeConv(name string, in, out int, rng *rand.Rand) *TreeConv {
 // Forward applies the convolution, caching the input for Backward.
 func (c *TreeConv) Forward(t *Tree) *Tree {
 	c.lastIn = t
-	out := make([]float64, t.N*c.Out)
+	c.outBuf = scratch(c.outBuf, t.N*c.Out)
+	out := c.outBuf
 	for i := 0; i < t.N; i++ {
 		y := out[i*c.Out : i*c.Out+c.Out]
 		copy(y, c.B.W)
@@ -54,7 +92,8 @@ func (c *TreeConv) Forward(t *Tree) *Tree {
 // features (N×In), accumulating parameter gradients along the way.
 func (c *TreeConv) Backward(dOut []float64) []float64 {
 	t := c.lastIn
-	dIn := make([]float64, t.N*c.In)
+	c.dInBuf = zeroedScratch(c.dInBuf, t.N*c.In)
+	dIn := c.dInBuf
 	for i := 0; i < t.N; i++ {
 		g := dOut[i*c.Out : i*c.Out+c.Out]
 		for k, gv := range g {
@@ -79,12 +118,14 @@ func (c *TreeConv) Params() []*Param { return []*Param{c.Wroot, c.Wleft, c.Wrigh
 
 // TreeReLU applies an elementwise rectifier to every node feature.
 type TreeReLU struct {
-	mask []bool
+	mask           []bool
+	outBuf, dInBuf []float64
 }
 
 // Forward zeroes negative activations, remembering which survived.
 func (r *TreeReLU) Forward(t *Tree) *Tree {
-	out := make([]float64, len(t.Feat))
+	r.outBuf = scratch(r.outBuf, len(t.Feat))
+	out := r.outBuf
 	if cap(r.mask) < len(t.Feat) {
 		r.mask = make([]bool, len(t.Feat))
 	}
@@ -94,6 +135,7 @@ func (r *TreeReLU) Forward(t *Tree) *Tree {
 			out[i] = v
 			r.mask[i] = true
 		} else {
+			out[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -102,10 +144,13 @@ func (r *TreeReLU) Forward(t *Tree) *Tree {
 
 // Backward gates the output gradient by the forward mask.
 func (r *TreeReLU) Backward(dOut []float64) []float64 {
-	dIn := make([]float64, len(dOut))
+	r.dInBuf = scratch(r.dInBuf, len(dOut))
+	dIn := r.dInBuf
 	for i, m := range r.mask {
 		if m {
 			dIn[i] = dOut[i]
+		} else {
+			dIn[i] = 0
 		}
 	}
 	return dIn
@@ -121,6 +166,8 @@ type TreeLayerNorm struct {
 	lastIn     *Tree
 	mean, istd []float64 // per node
 	norm       []float64 // normalized activations, N×D
+	outBuf     []float64
+	dInBuf, dz []float64
 }
 
 // NewTreeLayerNorm constructs a layer norm over d channels.
@@ -136,10 +183,11 @@ func NewTreeLayerNorm(name string, d int) *TreeLayerNorm {
 // Forward normalizes each node independently.
 func (n *TreeLayerNorm) Forward(t *Tree) *Tree {
 	n.lastIn = t
-	n.mean = make([]float64, t.N)
-	n.istd = make([]float64, t.N)
-	n.norm = make([]float64, t.N*t.D)
-	out := make([]float64, t.N*t.D)
+	n.mean = scratch(n.mean, t.N)
+	n.istd = scratch(n.istd, t.N)
+	n.norm = scratch(n.norm, t.N*t.D)
+	n.outBuf = scratch(n.outBuf, t.N*t.D)
+	out := n.outBuf
 	for i := 0; i < t.N; i++ {
 		x := t.Row(i)
 		mu := 0.0
@@ -168,10 +216,12 @@ func (n *TreeLayerNorm) Forward(t *Tree) *Tree {
 func (n *TreeLayerNorm) Backward(dOut []float64) []float64 {
 	t := n.lastIn
 	d := float64(t.D)
-	dIn := make([]float64, t.N*t.D)
+	n.dInBuf = scratch(n.dInBuf, t.N*t.D)
+	dIn := n.dInBuf
+	n.dz = scratch(n.dz, t.D)
 	for i := 0; i < t.N; i++ {
 		var sumDz, sumDzZ float64
-		dz := make([]float64, t.D)
+		dz := n.dz
 		for j := 0; j < t.D; j++ {
 			g := dOut[i*t.D+j]
 			z := n.norm[i*t.D+j]
@@ -197,15 +247,20 @@ func (n *TreeLayerNorm) Params() []*Param { return []*Param{n.Gain, n.Bias} }
 // elementwise maximum over all nodes ("dynamic pooling"), making the
 // network applicable to trees of any size.
 type DynamicPool struct {
-	argmax []int
-	n      int
+	argmax         []int
+	n              int
+	outBuf, dInBuf []float64
 }
 
 // Forward returns the channel-wise max over nodes and remembers which node
 // supplied each maximum.
 func (p *DynamicPool) Forward(t *Tree) []float64 {
-	out := make([]float64, t.D)
-	p.argmax = make([]int, t.D)
+	p.outBuf = scratch(p.outBuf, t.D)
+	out := p.outBuf
+	p.argmax = scratchInts(p.argmax, t.D)
+	for i := range p.argmax {
+		p.argmax[i] = 0
+	}
 	p.n = t.N
 	copy(out, t.Row(0))
 	for i := 1; i < t.N; i++ {
@@ -222,7 +277,8 @@ func (p *DynamicPool) Forward(t *Tree) []float64 {
 
 // Backward scatters the pooled gradient back to the argmax nodes.
 func (p *DynamicPool) Backward(dOut []float64, d int) []float64 {
-	dIn := make([]float64, p.n*d)
+	p.dInBuf = zeroedScratch(p.dInBuf, p.n*d)
+	dIn := p.dInBuf
 	for j, g := range dOut {
 		dIn[p.argmax[j]*d+j] = g
 	}
@@ -231,9 +287,10 @@ func (p *DynamicPool) Backward(dOut []float64, d int) []float64 {
 
 // Linear is a fully connected layer y = W·x + b on plain vectors.
 type Linear struct {
-	In, Out int
-	W, B    *Param
-	lastIn  []float64
+	In, Out        int
+	W, B           *Param
+	lastIn         []float64
+	outBuf, dInBuf []float64
 }
 
 // NewLinear constructs a fully connected layer.
@@ -246,7 +303,8 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Forward computes the affine map, caching the input.
 func (l *Linear) Forward(x []float64) []float64 {
 	l.lastIn = x
-	y := make([]float64, l.Out)
+	l.outBuf = scratch(l.outBuf, l.Out)
+	y := l.outBuf
 	copy(y, l.B.W)
 	matVec(l.W.W, l.Out, l.In, x, y)
 	return y
@@ -254,7 +312,8 @@ func (l *Linear) Forward(x []float64) []float64 {
 
 // Backward returns the input gradient and accumulates parameter gradients.
 func (l *Linear) Backward(dOut []float64) []float64 {
-	dIn := make([]float64, l.In)
+	l.dInBuf = zeroedScratch(l.dInBuf, l.In)
+	dIn := l.dInBuf
 	matTVec(l.W.W, l.Out, l.In, dOut, dIn)
 	outerAccum(l.W.G, l.Out, l.In, dOut, l.lastIn)
 	for k, g := range dOut {
@@ -268,17 +327,25 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
 // ReLU is an elementwise rectifier on plain vectors.
 type ReLU struct {
-	mask []bool
+	mask           []bool
+	outBuf, dInBuf []float64
 }
 
 // Forward zeroes negative entries.
 func (r *ReLU) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
-	r.mask = make([]bool, len(x))
+	r.outBuf = scratch(r.outBuf, len(x))
+	y := r.outBuf
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
 	for i, v := range x {
 		if v > 0 {
 			y[i] = v
 			r.mask[i] = true
+		} else {
+			y[i] = 0
+			r.mask[i] = false
 		}
 	}
 	return y
@@ -286,10 +353,13 @@ func (r *ReLU) Forward(x []float64) []float64 {
 
 // Backward gates the gradient by the forward mask.
 func (r *ReLU) Backward(dOut []float64) []float64 {
-	dIn := make([]float64, len(dOut))
+	r.dInBuf = scratch(r.dInBuf, len(dOut))
+	dIn := r.dInBuf
 	for i, m := range r.mask {
 		if m {
 			dIn[i] = dOut[i]
+		} else {
+			dIn[i] = 0
 		}
 	}
 	return dIn

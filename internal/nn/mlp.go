@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // MLP is a plain fully connected network with ReLU activations between
@@ -81,23 +82,29 @@ func (m *MLP) Restore(s [][]float64) {
 }
 
 // FitScalar trains the MLP as a scalar regressor with MSE loss, mirroring
-// TCNN.Train for non-tree inputs.
+// TCNN.Train for non-tree inputs (including its wall-time bookkeeping and
+// the zero-epoch/zero-batch guards).
 func (m *MLP) FitScalar(xs [][]float64, ys []float64, cfg TrainConfig) TrainResult {
-	if len(xs) == 0 {
-		return TrainResult{}
+	start := time.Now()
+	if len(xs) == 0 || cfg.MaxEpochs <= 0 {
+		return TrainResult{WallSeconds: time.Since(start).Seconds()}
 	}
 	opt := NewAdam(cfg.LR)
 	params := m.Params()
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := rng.Perm(len(xs))
 	best := math.Inf(1)
 	stale := 0
-	var res TrainResult
+	epochs, finalLoss := 0, 0.0
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		loss := 0.0
-		for b := 0; b < len(order); b += cfg.BatchSize {
-			end := b + cfg.BatchSize
+		for b := 0; b < len(order); b += batch {
+			end := b + batch
 			if end > len(order) {
 				end = len(order)
 			}
@@ -111,7 +118,7 @@ func (m *MLP) FitScalar(xs [][]float64, ys []float64, cfg TrainConfig) TrainResu
 			opt.Step(params)
 		}
 		loss /= float64(len(order))
-		res = TrainResult{Epochs: epoch + 1, FinalLoss: loss}
+		epochs, finalLoss = epoch+1, loss
 		if loss < best*(1-cfg.MinImprove) {
 			best = loss
 			stale = 0
@@ -119,5 +126,6 @@ func (m *MLP) FitScalar(xs [][]float64, ys []float64, cfg TrainConfig) TrainResu
 			break
 		}
 	}
-	return res
+	return TrainResult{Epochs: epochs, FinalLoss: finalLoss,
+		WallSeconds: time.Since(start).Seconds()}
 }

@@ -66,7 +66,9 @@ func TestTreeConvChildOrderSensitive(t *testing.T) {
 	b := NewTree(3, 3)
 	b.Left[0], b.Right[0] = 2, 1 // swapped children
 	copy(b.Feat, a.Feat)
-	ya := conv.Forward(a).Row(0)
+	// Forward output is only valid until the next Forward (the layer
+	// reuses its output buffer), so copy the first result out.
+	ya := append([]float64(nil), conv.Forward(a).Row(0)...)
 	yb := conv.Forward(b).Row(0)
 	diff := 0.0
 	for i := range ya {

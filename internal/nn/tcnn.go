@@ -134,6 +134,12 @@ type TrainConfig struct {
 	Patience   int     // epochs without sufficient improvement before stopping
 	MinImprove float64 // relative improvement threshold (0.01 = 1%)
 	Seed       int64   // shuffling seed
+	// Workers is the number of goroutines mini-batches are split across
+	// (data parallelism over batch examples). Zero or negative means one
+	// per CPU. Training output is bit-identical for every worker count:
+	// each example's gradient is computed in isolation and the reduction
+	// runs in batch order, never in worker-completion order.
+	Workers int
 }
 
 // DefaultTrainConfig returns the paper's training hyperparameters.
@@ -151,43 +157,62 @@ type TrainResult struct {
 // Train fits the network to (tree, target) pairs with mean squared error.
 // Targets should already be in the scale the caller wants to regress (Bao
 // trains on log-latency). Returns the epochs used and final epoch loss.
+//
+// Mini-batches are split across cfg.Workers goroutines (data parallelism):
+// each worker runs a model replica sharing the master weights, writes each
+// example's gradient into a per-batch-position buffer, and the buffers are
+// reduced into the master gradient in batch order before the Adam step.
+// The reduction order never depends on the worker count or scheduling, so
+// a given Seed yields bit-identical weights at any parallelism.
 func (m *TCNN) Train(trees []*Tree, targets []float64, cfg TrainConfig) TrainResult {
 	if len(trees) != len(targets) {
 		panic("nn: trees and targets length mismatch")
 	}
-	if len(trees) == 0 {
-		return TrainResult{}
-	}
 	trainStart := time.Now()
+	if len(trees) == 0 || cfg.MaxEpochs <= 0 {
+		// Zero-work paths still report wall time so callers' cost
+		// accounting (TrainEvents, bao_retrain_wall_seconds_total) never
+		// books a retrain at zero seconds.
+		return TrainResult{WallSeconds: time.Since(trainStart).Seconds()}
+	}
 	opt := NewAdam(cfg.LR)
 	params := m.Params()
+	for _, p := range params {
+		p.ZeroGrad() // a stray Backward without a Step must not leak in
+	}
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1 // a zero batch size would loop forever
+	}
+	workers := Workers(cfg.Workers)
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	maxSlot := batch
+	if maxSlot > len(trees) {
+		maxSlot = len(trees)
+	}
+	pool := newTrainPool(m, workers, maxSlot)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := rng.Perm(len(trees))
 	best := math.Inf(1)
 	stale := 0
-	var res TrainResult
+	epochs, finalLoss := 0, 0.0
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		// Reshuffle each epoch for SGD.
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss := 0.0
-		for b := 0; b < len(order); b += cfg.BatchSize {
-			end := b + cfg.BatchSize
+		for b := 0; b < len(order); b += batch {
+			end := b + batch
 			if end > len(order) {
 				end = len(order)
 			}
-			n := float64(end - b)
-			for _, idx := range order[b:end] {
-				pred := m.Forward(trees[idx])
-				diff := pred - targets[idx]
-				epochLoss += diff * diff
-				// d(MSE)/d(pred) averaged over the batch.
-				m.Backward(2 * diff / n)
-			}
+			// d(MSE)/d(pred) averaged over the batch.
+			epochLoss += pool.runBatch(trees, targets, order[b:end], 2/float64(end-b))
 			opt.Step(params)
 		}
 		epochLoss /= float64(len(order))
-		res = TrainResult{Epochs: epoch + 1, FinalLoss: epochLoss,
-			WallSeconds: time.Since(trainStart).Seconds()}
+		epochs, finalLoss = epoch+1, epochLoss
 		if epochLoss < best*(1-cfg.MinImprove) {
 			best = epochLoss
 			stale = 0
@@ -198,5 +223,6 @@ func (m *TCNN) Train(trees []*Tree, targets []float64, cfg TrainConfig) TrainRes
 			}
 		}
 	}
-	return res
+	return TrainResult{Epochs: epochs, FinalLoss: finalLoss,
+		WallSeconds: time.Since(trainStart).Seconds()}
 }

@@ -23,6 +23,9 @@ type Observer struct {
 	ArmRegret   *CounterVec // bao_arm_regret_seconds_total{arm}
 	External    *Counter    // bao_external_experiences_total
 	Window      *Gauge      // bao_experience_window
+	// PlansDeduped counts arm plans that collapsed onto an already-seen
+	// plan this query and therefore skipped featurization and inference.
+	PlansDeduped *Counter // bao_plans_deduped_total
 
 	// Stage latency histograms (seconds).
 	ParseSeconds  *Histogram // bao_parse_seconds
@@ -66,12 +69,13 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 	o := &Observer{
 		Reg: reg,
 
-		Queries:     reg.Counter("bao_queries_total", "Queries run through Bao's select-execute-observe loop."),
-		ArmSelected: reg.CounterVec("bao_arm_selected_total", "Per-arm selection counts.", "arm"),
-		ArmObserved: reg.CounterVec("bao_arm_observed_seconds_total", "Per-arm accumulated observed metric seconds.", "arm"),
-		ArmRegret:   reg.CounterVec("bao_arm_regret_seconds_total", "Per-arm accumulated positive (observed - predicted) seconds; the model's realized optimism.", "arm"),
-		External:    reg.Counter("bao_external_experiences_total", "Off-policy experiences added (advisor mode, DBA plans)."),
-		Window:      reg.Gauge("bao_experience_window", "Experiences currently in the sliding window."),
+		Queries:      reg.Counter("bao_queries_total", "Queries run through Bao's select-execute-observe loop."),
+		ArmSelected:  reg.CounterVec("bao_arm_selected_total", "Per-arm selection counts.", "arm"),
+		ArmObserved:  reg.CounterVec("bao_arm_observed_seconds_total", "Per-arm accumulated observed metric seconds.", "arm"),
+		ArmRegret:    reg.CounterVec("bao_arm_regret_seconds_total", "Per-arm accumulated positive (observed - predicted) seconds; the model's realized optimism.", "arm"),
+		External:     reg.Counter("bao_external_experiences_total", "Off-policy experiences added (advisor mode, DBA plans)."),
+		Window:       reg.Gauge("bao_experience_window", "Experiences currently in the sliding window."),
+		PlansDeduped: reg.Counter("bao_plans_deduped_total", "Arm plans that duplicated another arm's plan and skipped featurization+inference."),
 
 		ParseSeconds:  reg.Histogram("bao_parse_seconds", "Parse+analyze wall time per query.", lat),
 		PlanSeconds:   reg.Histogram("bao_planning_seconds", "Wall time planning all arms for one query.", lat),
