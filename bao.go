@@ -21,6 +21,8 @@
 package bao
 
 import (
+	"context"
+
 	"bao/internal/catalog"
 	"bao/internal/cloud"
 	"bao/internal/core"
@@ -28,6 +30,7 @@ import (
 	"bao/internal/executor"
 	"bao/internal/obs"
 	"bao/internal/planner"
+	baoserver "bao/internal/server"
 	"bao/internal/storage"
 )
 
@@ -173,3 +176,42 @@ func Stats() StatsSnapshot { return obs.Default().Snapshot() }
 // tracing on the default observer. Pass addr ":0" to pick a free port;
 // the returned server reports the actual address.
 func ServeObs(addr string) (*ObsServer, error) { return obs.Serve(addr, obs.Default()) }
+
+// Serving-layer re-exports: the concurrent Bao server (HTTP/JSON API,
+// async retraining with model hot-swap, durable experience log).
+type (
+	// BaoServer is a running serving layer over one Optimizer: concurrent
+	// selections, a single execution lane, a background trainer, and
+	// optional durability (see internal/server).
+	BaoServer = baoserver.Server
+	// ServerConfig controls a BaoServer (admission limits, timeouts, the
+	// experience-log and model paths).
+	ServerConfig = baoserver.Config
+	// ExperienceLog is the durable append-only record of observed
+	// experiences and critical-query exploration sets.
+	ExperienceLog = baoserver.ExperienceLog
+)
+
+// Serve wires a serving layer around opt (replaying the experience log
+// and loading the model when configured), binds addr (":0" picks a free
+// port), and serves in the background. The server owns opt from here on;
+// stop it with Shutdown.
+func Serve(opt *Optimizer, addr string, cfg ServerConfig) (*BaoServer, error) {
+	s, err := baoserver.New(opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(addr); err != nil {
+		s.Shutdown(context.Background()) //nolint:errcheck // listener never opened
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenExperienceLog opens (creating if absent) a durable experience log,
+// replaying nothing by itself — pass the path as ServerConfig.LogPath to
+// have a server replay and append to it, or use the returned log's
+// Replay method directly for offline inspection and custom tooling.
+func OpenExperienceLog(path string) (*ExperienceLog, error) {
+	return baoserver.OpenExperienceLog(path, DefaultObserver())
+}

@@ -6,12 +6,17 @@ package bao_test
 // the whole evaluation; run cmd/baobench for full-scale output.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"bao"
 	"bao/internal/harness"
@@ -62,17 +67,24 @@ func recordBench(b *testing.B, queriesPerIter int) {
 	benchResults.mu.Unlock()
 }
 
-// TestMain writes BENCH_results.json when any benchmarks ran.
+// TestMain writes BENCH_results.json when any benchmarks ran, merging
+// into the existing file so a partial run (-bench with a filter) updates
+// its own rows without dropping everyone else's.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchResults.mu.Lock()
 	all := benchResults.rows
 	benchResults.mu.Unlock()
-	// The harness may invoke a benchmark several times while calibrating
-	// b.N; keep only the final (highest-N) record of each name.
-	last := make(map[string]int, len(all))
-	rows := all[:0:0]
-	for _, r := range all {
+	// Start from the rows already on disk, then overlay this run's. The
+	// harness may also invoke a benchmark several times while calibrating
+	// b.N; keeping the last record of each name handles both.
+	var prior []benchRow
+	if buf, err := os.ReadFile("BENCH_results.json"); err == nil {
+		json.Unmarshal(buf, &prior) //nolint:errcheck // a fresh file is fine
+	}
+	last := make(map[string]int, len(prior)+len(all))
+	var rows []benchRow
+	for _, r := range append(prior, all...) {
 		if i, ok := last[r.Name]; ok {
 			rows[i] = r
 			continue
@@ -80,7 +92,7 @@ func TestMain(m *testing.M) {
 		last[r.Name] = len(rows)
 		rows = append(rows, r)
 	}
-	if len(rows) > 0 {
+	if len(all) > 0 {
 		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
 			if err := os.WriteFile("BENCH_results.json", append(buf, '\n'), 0o644); err != nil {
 				os.Stderr.WriteString("writing BENCH_results.json: " + err.Error() + "\n")
@@ -216,3 +228,89 @@ func BenchmarkQueryLoopInstrumented(b *testing.B) {
 func BenchmarkQueryLoopObsDisabled(b *testing.B) {
 	benchQueryLoop(b, bao.DisabledObserver)
 }
+
+// benchServerQueries is the stream length of one serving-layer benchmark
+// iteration.
+const benchServerQueries = 30
+
+// benchServer measures the HTTP serving layer end to end: one iteration
+// pushes benchServerQueries full select-execute-observe requests through
+// /v1/query with the given client parallelism. Comparing Sequential and
+// Concurrent shows what the read-mostly fast path buys: selections
+// overlap freely, with only the execute step on the single engine lane.
+func benchServer(b *testing.B, clients int) {
+	b.Helper()
+	inst := workload.IMDb(workload.Config{Scale: 0.06, Queries: benchServerQueries, Seed: 42})
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	if err := inst.Setup(eng); err != nil {
+		b.Fatal(err)
+	}
+	cfg := bao.FastConfig()
+	cfg.Arms = bao.TopArms(6)
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	opt := bao.New(eng, cfg)
+	srv, err := bao.Serve(opt, "127.0.0.1:0", bao.ServerConfig{MaxInFlight: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // benchmark teardown
+	}()
+	base := "http://" + srv.Addr()
+	post := func(sql string) error {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if clients <= 1 {
+			for _, q := range inst.Queries {
+				if err := post(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		work := make(chan string, len(inst.Queries))
+		for _, q := range inst.Queries {
+			work <- q.SQL
+		}
+		close(work)
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sql := range work {
+					if err := post(sql); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, benchServerQueries)
+}
+
+func BenchmarkServerQuerySequential(b *testing.B) { benchServer(b, 1) }
+
+func BenchmarkServerQueryConcurrent(b *testing.B) { benchServer(b, 8) }

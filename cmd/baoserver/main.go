@@ -1,0 +1,111 @@
+// Command baoserver runs the concurrent Bao serving layer over an
+// embedded engine loaded with a synthetic workload: an HTTP/JSON API for
+// arm selection and feedback, a background trainer that hot-swaps fitted
+// models in, and a durable experience log so restarts resume with the
+// window, critical-query registry, and model intact.
+//
+// Usage:
+//
+//	baoserver [-listen 127.0.0.1:8765] [-workload IMDb|Stack|Corp] [-scale 0.25]
+//	          [-explog bao.explog] [-model bao.model] [-train 0]
+//	          [-max-inflight 64] [-timeout 30s] [-workers N] [-parallel-planning]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/query     {"sql": ...}                      full select-execute-observe
+//	POST /v1/select    {"sql": ...}                      arm choice only
+//	POST /v1/observe   {"selection_id": ..., "secs": ...} feedback for a selection
+//	GET  /v1/model     download the trained model; POST uploads one
+//	POST /v1/critical  {"sql": ...}                      mark + explore a critical query
+//	GET  /v1/status    serving state
+//	GET  /metrics      Prometheus metrics; GET /debug/traces decision traces
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, the
+// trainer finishes, the log is flushed, and the model is persisted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bao"
+	"bao/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8765", "address to serve the Bao API on")
+	wlName := flag.String("workload", "IMDb", "dataset to load (IMDb, Stack, Corp)")
+	scale := flag.Float64("scale", 0.25, "dataset scale")
+	train := flag.Int("train", 0, "pre-train Bao on this many workload queries before serving")
+	explog := flag.String("explog", "", "durable experience log path (replayed on startup)")
+	modelPath := flag.String("model", "", "value-model path (loaded on startup, saved on shutdown)")
+	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent requests before shedding with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU)")
+	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	flag.Parse()
+
+	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	fmt.Printf("loading %s (scale %.2f)...\n", *wlName, *scale)
+	if err := inst.Setup(eng); err != nil {
+		fatal(err)
+	}
+	cfg := bao.FastConfig()
+	cfg.Workers = *workers
+	cfg.ParallelPlanning = *parallelPlanning
+	opt := bao.New(eng, cfg)
+	if *train > 0 {
+		fmt.Printf("pre-training Bao on %d queries...\n", *train)
+		for _, q := range inst.Queries[:*train] {
+			if _, _, err := opt.Run(q.SQL); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("done (%d retrains)\n", opt.TrainCount())
+	}
+
+	srv, err := bao.Serve(opt, *listen, bao.ServerConfig{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		LogPath:        *explog,
+		ModelPath:      *modelPath,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baoserver: serving %s on http://%s (experience=%d, trained=%v)\n",
+		*wlName, srv.Addr(), opt.ExperienceSize(), opt.Trained())
+	fmt.Printf("  try: curl -s -X POST http://%s/v1/query -d '{\"sql\": \"SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id\"}'\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nbaoserver: shutting down (draining requests, flushing log, saving model)...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("baoserver: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "baoserver:", err)
+	os.Exit(1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

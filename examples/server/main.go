@@ -1,0 +1,108 @@
+// Server example: start the Bao serving layer in-process on a small IMDb
+// instance, drive it over HTTP like an external client would (the paper's
+// advisor integration), and watch the background trainer hot-swap a model
+// in without ever stalling the query path.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"bao"
+	"bao/internal/workload"
+)
+
+func main() {
+	// 1. Embedded engine with a small IMDb instance.
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	inst := workload.IMDb(workload.Config{Scale: 0.1, Queries: 40, Seed: 42})
+	if err := inst.Setup(eng); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A Bao optimizer with a small arm family and quick retrains, and a
+	//    serving layer with a durable experience log: kill this process and
+	//    rerun it — the window is replayed and learning resumes, not restarts.
+	cfg := bao.FastConfig()
+	cfg.Arms = bao.TopArms(3)
+	cfg.ArmWarmup = 0
+	cfg.RetrainEvery = 16
+	opt := bao.New(eng, cfg)
+	logPath := filepath.Join(".", "example.explog")
+	srv, err := bao.Serve(opt, "127.0.0.1:0", bao.ServerConfig{LogPath: logPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	fmt.Printf("baoserver on %s (replayed experience=%d)\n", base, opt.ExperienceSize())
+
+	// 3. Drive the full select-execute-observe loop over HTTP until the
+	//    retrain schedule fires; the trainer fits and swaps in background.
+	type queryResp struct {
+		Arm           string  `json:"arm"`
+		UsedModel     bool    `json:"used_model"`
+		Rows          int     `json:"rows"`
+		SimulatedSecs float64 `json:"simulated_secs"`
+	}
+	for i, q := range inst.Queries[:20] {
+		body, _ := json.Marshal(map[string]string{"sql": q.SQL})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var qr queryResp
+		json.NewDecoder(resp.Body).Decode(&qr) //nolint:errcheck
+		resp.Body.Close()
+		fmt.Printf("  q%02d: arm=%-14s model=%-5v rows=%-5d %.2f ms simulated\n",
+			i, qr.Arm, qr.UsedModel, qr.Rows, qr.SimulatedSecs*1000)
+	}
+
+	// 4. Wait for the background trainer's hot swap, then show that new
+	//    selections use the fitted model.
+	for i := 0; i < 1000 && opt.TrainCount() == 0; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	var status struct {
+		Trained    bool `json:"trained"`
+		TrainCount int  `json:"train_count"`
+		Experience int  `json:"experience"`
+	}
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&status) //nolint:errcheck
+	resp.Body.Close()
+	fmt.Printf("status: trained=%v retrains=%d experience=%d\n",
+		status.Trained, status.TrainCount, status.Experience)
+
+	// 5. Scrape a few serving metrics, as Prometheus would.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body) //nolint:errcheck
+	mresp.Body.Close()
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("bao_server_")) && !bytes.Contains(line, []byte("_bucket")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// 6. Graceful shutdown: drain, stop the trainer, flush the log.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shut down; experience log persisted at %s\n", logPath)
+}

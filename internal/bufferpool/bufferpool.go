@@ -7,7 +7,10 @@
 // profile's RAM, which is how bigger VMs get faster.
 package bufferpool
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // PageID identifies one page of a table heap or index.
 type PageID struct {
@@ -34,10 +37,13 @@ func (s Stats) HitRate() float64 {
 	return 0
 }
 
-// Pool is an LRU page cache. It is not safe for concurrent use; the engine
-// serializes access (concurrent-query experiments interleave at query
-// granularity and model contention in the cloud clock).
+// Pool is an LRU page cache. It is safe for concurrent use: executions are
+// serialized at query granularity by the layer above (the serving layer's
+// execution lane, or the single-threaded harness), but cache-aware plan
+// featurization reads per-table residency concurrently with executions, so
+// reads take a shared lock and mutations an exclusive one.
 type Pool struct {
+	mu       sync.RWMutex
 	capacity int
 	lru      *list.List // front = most recent; values are PageID
 	pages    map[PageID]*list.Element
@@ -59,14 +65,24 @@ func New(capacity int) *Pool {
 }
 
 // Capacity returns the configured page capacity.
-func (p *Pool) Capacity() int { return p.capacity }
+func (p *Pool) Capacity() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.capacity
+}
 
 // Len returns the number of resident pages.
-func (p *Pool) Len() int { return p.lru.Len() }
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.lru.Len()
+}
 
 // Access touches a page, returning true on a cache hit. Misses insert the
 // page, evicting the least recently used page if at capacity.
 func (p *Pool) Access(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.pages[id]; ok {
 		p.lru.MoveToFront(el)
 		p.stats.Hits++
@@ -94,6 +110,8 @@ func (p *Pool) Access(id PageID) bool {
 
 // Contains reports residency without touching LRU order or stats.
 func (p *Pool) Contains(id PageID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, ok := p.pages[id]
 	return ok
 }
@@ -114,7 +132,10 @@ func (p *Pool) CachedFraction(table string, totalPages int) float64 {
 	if totalPages <= 0 {
 		return 0
 	}
-	f := float64(p.perTable[table]) / float64(totalPages)
+	p.mu.RLock()
+	resident := p.perTable[table]
+	p.mu.RUnlock()
+	f := float64(resident) / float64(totalPages)
 	if f > 1 {
 		f = 1
 	}
@@ -127,7 +148,10 @@ func (p *Pool) CachedIndexFraction(table string, totalPages int) float64 {
 	if totalPages <= 0 {
 		return 0
 	}
-	f := float64(p.perIndex[table]) / float64(totalPages)
+	p.mu.RLock()
+	resident := p.perIndex[table]
+	p.mu.RUnlock()
+	f := float64(resident) / float64(totalPages)
 	if f > 1 {
 		f = 1
 	}
@@ -135,13 +159,23 @@ func (p *Pool) CachedIndexFraction(table string, totalPages int) float64 {
 }
 
 // Stats returns accumulated hit/miss counts.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.stats
+}
 
 // ResetStats zeroes the counters without evicting pages.
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
 
 // Clear evicts everything and zeroes counters (cold-cache experiments).
 func (p *Pool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.lru.Init()
 	p.pages = make(map[PageID]*list.Element)
 	p.perTable = make(map[string]int)
@@ -152,6 +186,8 @@ func (p *Pool) Clear() {
 // Resize changes capacity, evicting LRU pages if shrinking. Used when an
 // experiment switches VM profiles.
 func (p *Pool) Resize(capacity int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.capacity = capacity
 	for p.lru.Len() > capacity {
 		back := p.lru.Back()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,11 +171,36 @@ type Selection struct {
 // a retrain alongside the bootstrap sample.
 const recentKeep = 8
 
+// Gross-misprediction thresholds (§3.2 "learns from its mistakes"): an
+// execution observed more than grossMispredRatio times its prediction AND
+// slower than grossMispredFloorSecs in absolute terms indicts the model.
+const (
+	grossMispredRatio     = 8.0
+	grossMispredFloorSecs = 0.03
+)
+
+// minRetrainWindow is the experience floor below which retrains are held
+// back (too little data to fit anything useful).
+const minRetrainWindow = 16
+
 // Bao is the bandit optimizer: it sits on top of an engine's traditional
 // optimizer and selects hint sets per query via Thompson sampling.
+//
+// Concurrency: Select, Observe, ObserveLatency, ObserveValue,
+// AddExternalExperience, Retrain, and the accessors are safe for
+// concurrent use. Select takes only a brief read lock to snapshot the
+// current model, so any number of selections run concurrently; the inline
+// Retrain path holds the write lock for the duration of the fit (library
+// users keep single-threaded semantics), while RetrainAsync fits a
+// detached model off-lock and hot-swaps it in — the serving layer's
+// trainer uses it so no selection ever blocks on training. Engine
+// *execution* is not synchronized here: concurrent callers must serialize
+// Eng.Execute (the serving layer runs a single execution lane).
 type Bao struct {
-	Cfg   Config
-	Eng   *engine.Engine
+	Cfg Config
+	Eng *engine.Engine
+	// Model is the current value model. Concurrent readers must snapshot
+	// it via the mutex (Select does); it is hot-swapped by RetrainAsync.
 	Model model.Model
 	Feat  Featurizer
 
@@ -185,6 +211,8 @@ type Bao struct {
 	// steering plans (§4).
 	AdvisorMode bool
 
+	// mu guards every mutable field below (and Model swaps above).
+	mu          sync.RWMutex
 	exp         []Experience
 	critical    map[string][]Experience
 	markedCrit  map[string]string // key → SQL
@@ -195,6 +223,15 @@ type Bao struct {
 	warmupArms  []int // Cfg.Arms indices selectable during warm-up
 	rng         *rand.Rand
 	observer    *obs.Observer
+
+	// retrainHook, when set, is signaled instead of retraining inline —
+	// the serving layer points it at its trainer goroutine's channel.
+	retrainHook func()
+	// expHook observes every admitted experience (the serving layer's
+	// durable log). Called outside the lock, after admission.
+	expHook func(Experience)
+	// critHook observes every stored critical-query exploration set.
+	critHook func(key string, exps []Experience)
 
 	TrainEvents []TrainEvent
 }
@@ -261,10 +298,87 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 }
 
 // Trained reports whether the value model has been fit at least once.
-func (b *Bao) Trained() bool { return b.trained }
+func (b *Bao) Trained() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.trained
+}
 
 // ExperienceSize returns the number of windowed experiences.
-func (b *Bao) ExperienceSize() int { return len(b.exp) }
+func (b *Bao) ExperienceSize() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.exp)
+}
+
+// TrainCount returns the number of completed retrains.
+func (b *Bao) TrainCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.trainCount
+}
+
+// CriticalKeys returns the keys of queries with stored critical
+// exploration sets, sorted.
+func (b *Bao) CriticalKeys() []string {
+	b.mu.RLock()
+	keys := make([]string, 0, len(b.critical))
+	for k := range b.critical {
+		keys = append(keys, k)
+	}
+	b.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// SetRetrainHook routes retrain triggers to fn instead of retraining
+// inline: when the schedule (or a gross misprediction) calls for a
+// retrain, fn is invoked — typically a non-blocking channel send into a
+// background trainer that later calls RetrainAsync. Pass nil to restore
+// the inline default. fn must not block and must not call back into Bao.
+func (b *Bao) SetRetrainHook(fn func()) {
+	b.mu.Lock()
+	b.retrainHook = fn
+	b.mu.Unlock()
+}
+
+// SetExperienceHook registers fn to be called (outside the lock) with
+// every experience admitted into the window — the serving layer appends
+// them to its durable log. Pass nil to unregister.
+func (b *Bao) SetExperienceHook(fn func(Experience)) {
+	b.mu.Lock()
+	b.expHook = fn
+	b.mu.Unlock()
+}
+
+// SetCriticalHook registers fn to be called with every critical-query
+// exploration set ExploreCritical stores. Pass nil to unregister.
+func (b *Bao) SetCriticalHook(fn func(key string, exps []Experience)) {
+	b.mu.Lock()
+	b.critHook = fn
+	b.mu.Unlock()
+}
+
+// RestoreExperiences re-admits logged experiences into the window without
+// scheduling retrains or invoking hooks — the serving layer's startup
+// replay, so a restarted server resumes with its window intact.
+func (b *Bao) RestoreExperiences(exps []Experience) {
+	b.mu.Lock()
+	for _, e := range exps {
+		b.addExperienceLocked(e)
+	}
+	b.observer.Window.Set(float64(len(b.exp)))
+	b.mu.Unlock()
+}
+
+// RestoreCritical restores one critical query's exploration set (startup
+// replay counterpart of ExploreCritical's bookkeeping).
+func (b *Bao) RestoreCritical(key string, exps []Experience) {
+	b.mu.Lock()
+	b.critical[key] = exps
+	b.markedCrit[key] = key
+	b.mu.Unlock()
+}
 
 // Select plans the query under every arm, predicts each plan's
 // performance, and picks the arm with the best prediction (greedy under
@@ -296,13 +410,19 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 			return nil, err
 		}
 	} else {
+		// A private optimizer (not the engine's shared one) keeps the
+		// serial path safe under concurrent Selects: the schema and
+		// statistics it reads are immutable between queries, but the
+		// optimizer itself carries per-plan scratch (LastCandidates).
+		opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
+			Sampling: b.Eng.Grade() == engine.GradeComSys}
 		for i, arm := range b.Cfg.Arms {
-			n, cands, err := b.Eng.Plan(q, arm.Hints)
+			n, err := opt.Plan(q, arm.Hints)
 			if err != nil {
 				return nil, fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
 			}
 			sel.Plans[i] = n
-			sel.Candidates[i] = cands
+			sel.Candidates[i] = opt.LastCandidates
 		}
 	}
 	planDone := time.Now()
@@ -339,9 +459,19 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		tr.AddSpan("featurize", planDone, featDone.Sub(planDone),
 			fmt.Sprintf("unique=%d deduped=%d", sel.UniquePlans, len(sel.Plans)-sel.UniquePlans))
 	}
-	if b.trained {
+	// Snapshot the bandit state under a brief read lock: concurrent
+	// Selects share the current model, and a RetrainAsync hot-swap
+	// arriving mid-query affects only subsequent selections.
+	b.mu.RLock()
+	trained := b.trained
+	mdl := b.Model
+	warm := b.warmupActiveLocked()
+	candidates := b.selectableArmsLocked()
+	windowLen := len(b.exp)
+	b.mu.RUnlock()
+	if trained {
 		inferStart := time.Now()
-		uniqPreds := b.Model.Predict(uniqTrees)
+		uniqPreds := mdl.Predict(uniqTrees)
 		sel.Preds = make([]float64, len(armGroup))
 		for i, g := range armGroup {
 			sel.Preds[i] = uniqPreds[g]
@@ -349,7 +479,6 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		inferDone := time.Now()
 		o.InferSeconds.Observe(inferDone.Sub(inferStart).Seconds())
 		tr.AddSpan("infer", inferStart, inferDone.Sub(inferStart), "")
-		candidates := b.selectableArms()
 		// Cost-sanity guard: drop arms whose plan the traditional optimizer
 		// prices two orders of magnitude above the cheapest arm. Bao
 		// second-guesses the cost model's *choices*, not its arithmetic —
@@ -396,8 +525,8 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		tr.ArmID = sel.ArmID
 		tr.ArmName = b.Cfg.Arms[sel.ArmID].Name
 		tr.UsedModel = sel.UsedModel
-		tr.WarmUp = b.warmupActive()
-		tr.WindowSize = len(b.exp)
+		tr.WarmUp = warm
+		tr.WindowSize = windowLen
 		if sel.Preds != nil {
 			tr.PredictedSecs = sel.Preds[sel.ArmID]
 		}
@@ -463,13 +592,25 @@ func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, workers int) er
 // warmupActive reports whether arm selection is currently restricted to
 // the warm-up family.
 func (b *Bao) warmupActive() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.warmupActiveLocked()
+}
+
+func (b *Bao) warmupActiveLocked() bool {
 	return b.Cfg.ArmWarmup > 0 && b.trainCount < b.Cfg.ArmWarmup && len(b.warmupArms) > 0
 }
 
 // selectableArms returns the arm indices the bandit may pick right now:
 // the warm-up family while the model is young, every arm afterwards.
 func (b *Bao) selectableArms() []int {
-	if b.warmupActive() {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.selectableArmsLocked()
+}
+
+func (b *Bao) selectableArmsLocked() []int {
+	if b.warmupActiveLocked() {
 		return b.warmupArms
 	}
 	all := make([]int, len(b.Cfg.Arms))
@@ -504,21 +645,28 @@ func (b *Bao) ObserveValue(sel *Selection, secs float64) {
 	b.observe(sel, secs, false)
 }
 
-// observe is the shared observation path: record metrics, append the
+// ObserveLatency records an externally measured metric value with the full
+// on-policy semantics of Observe, including the gross-misprediction early
+// retrain. The serving layer's /v1/observe endpoint uses it: the client
+// executed the selected plan for real and reports what it cost.
+func (b *Bao) ObserveLatency(sel *Selection, secs float64) {
+	b.observe(sel, secs, true)
+}
+
+// observe is the shared observation path: record metrics, admit the
 // experience, and retrain on schedule (or early, when allowEarly and the
 // prediction was grossly wrong). It finishes and publishes sel.Trace.
 func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 	obsStart := time.Now()
-	b.queriesSeen++
-	b.sinceTrain++
 	o := b.observer
 	o.Queries.Inc()
 	o.ExecSeconds.Observe(secs)
 	armName := b.Cfg.Arms[sel.ArmID].Name
 	o.ArmObserved.With(armName).Add(secs)
-	var ratio float64
+	var pred, ratio float64
 	if sel.UsedModel && sel.Preds != nil {
-		if pred := sel.Preds[sel.ArmID]; pred > 0 {
+		pred = sel.Preds[sel.ArmID]
+		if pred > 0 {
 			ratio = secs / pred
 			o.Calibration.Observe(ratio)
 			if regret := secs - pred; regret > 0 {
@@ -526,34 +674,19 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 			}
 		}
 	}
-	b.addExperience(Experience{
-		Tree:  sel.Trees[sel.ArmID],
-		Secs:  secs,
-		ArmID: sel.ArmID,
-		Key:   sel.SQL,
-	})
-	o.Window.Set(float64(len(b.exp)))
 	if b.Eng != nil {
 		st := b.Eng.Pool.Stats()
 		o.PoolHits.Set(float64(st.Hits))
 		o.PoolMisses.Set(float64(st.Misses))
 		o.PoolHitRate.Set(st.HitRate())
 	}
-	mispred := sel.UsedModel && sel.Preds != nil &&
-		secs > 8*sel.Preds[sel.ArmID] && secs > 0.03
-	if mispred {
-		o.GrossMispred.Inc()
-	}
-	gross := allowEarly && mispred && b.sinceTrain >= 2
 	sel.Trace.AddSpan("observe", obsStart, time.Since(obsStart), "")
-	if (b.sinceTrain >= b.Cfg.RetrainEvery || gross) && len(b.exp) >= 16 {
-		if gross && b.sinceTrain < b.Cfg.RetrainEvery {
-			o.EarlyRetrains.Inc()
-		}
-		retrainStart := time.Now()
-		b.Retrain()
-		sel.Trace.AddSpan("retrain", retrainStart, time.Since(retrainStart), "")
-	}
+	b.record(Experience{
+		Tree:  sel.Trees[sel.ArmID],
+		Secs:  secs,
+		ArmID: sel.ArmID,
+		Key:   sel.SQL,
+	}, pred, allowEarly, true, sel.Trace)
 	if tr := sel.Trace; tr != nil {
 		tr.ObservedSecs = secs
 		tr.Ratio = ratio
@@ -562,39 +695,90 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 }
 
 // AddExternalExperience records a plan executed outside Bao's control
-// (off-policy learning: advisor mode, DBA-tuned plans).
+// (off-policy learning: advisor mode, DBA-tuned plans). It shares
+// observe's admission path, so an external execution the current model
+// grossly mispredicts triggers the same early retrain a steered one would
+// — a DBA-tuned plan going off a cliff is exactly as informative as one
+// Bao chose itself.
 func (b *Bao) AddExternalExperience(plan *planner.Node, c executor.Counters) {
-	b.addExperience(Experience{
-		Tree: b.Feat.Vectorize(plan),
-		Secs: b.Cfg.Metric.Value(c),
-	})
-	b.sinceTrain++
-	b.observer.External.Inc()
-	b.observer.Window.Set(float64(len(b.exp)))
-	if b.sinceTrain >= b.Cfg.RetrainEvery && len(b.exp) >= 16 {
-		b.Retrain()
+	secs := b.Cfg.Metric.Value(c)
+	tree := b.Feat.Vectorize(plan)
+	var pred float64
+	b.mu.RLock()
+	trained, mdl := b.trained, b.Model
+	b.mu.RUnlock()
+	if trained {
+		pred = mdl.Predict([]*nn.Tree{tree})[0]
 	}
+	b.observer.External.Inc()
+	b.record(Experience{Tree: tree, Secs: secs}, pred, true, false, nil)
 }
 
-func (b *Bao) addExperience(e Experience) {
+// record is the single experience-admission path behind Observe,
+// ObserveValue/ObserveLatency, and AddExternalExperience: append to the
+// window, maintain the window gauge, detect gross misprediction against
+// pred (zero disables the check), and retrain on schedule — or early,
+// when allowEarly and the model was grossly wrong. The retrain runs
+// inline unless a retrain hook is registered, in which case the hook is
+// signaled and training happens elsewhere (the serving layer's trainer).
+func (b *Bao) record(e Experience, pred float64, allowEarly, fromQuery bool, tr *obs.Trace) {
+	o := b.observer
+	mispred := pred > 0 && e.Secs > grossMispredRatio*pred && e.Secs > grossMispredFloorSecs
+	if mispred {
+		o.GrossMispred.Inc()
+	}
+	b.mu.Lock()
+	if fromQuery {
+		b.queriesSeen++
+	}
+	b.sinceTrain++
+	b.addExperienceLocked(e)
+	o.Window.Set(float64(len(b.exp)))
+	gross := allowEarly && mispred && b.sinceTrain >= 2
+	should := (b.sinceTrain >= b.Cfg.RetrainEvery || gross) && len(b.exp) >= minRetrainWindow
+	early := should && gross && b.sinceTrain < b.Cfg.RetrainEvery
+	hook := b.retrainHook
+	expHook := b.expHook
+	b.mu.Unlock()
+	if expHook != nil {
+		expHook(e)
+	}
+	if !should {
+		return
+	}
+	if early {
+		o.EarlyRetrains.Inc()
+	}
+	if hook != nil {
+		hook()
+		return
+	}
+	retrainStart := time.Now()
+	b.Retrain()
+	tr.AddSpan("retrain", retrainStart, time.Since(retrainStart), "")
+}
+
+func (b *Bao) addExperienceLocked(e Experience) {
 	b.exp = append(b.exp, e)
 	if over := len(b.exp) - b.Cfg.WindowSize; over > 0 {
 		b.exp = b.exp[over:]
 	}
 }
 
-// Retrain performs one Thompson sampling draw: fit a fresh model on a
-// bootstrap (sample with replacement) of the experience window, always
-// including the flagged critical experiences, then fine-tune until every
-// critical query's fastest arm is ranked first (§4 "triggered
-// exploration").
-func (b *Bao) Retrain() {
+// trainingSampleLocked assembles one Thompson sampling draw's training
+// set and resets the retrain schedule: a bootstrap (sample with
+// replacement) of the experience window, the most recent experiences
+// verbatim (so a fresh catastrophic observation can never be dropped by
+// the resampling), and every flagged critical experience. It also
+// snapshots the critical registry for the enforcement loop. Returns nil
+// trees when there is nothing to train on. Callers hold b.mu.
+func (b *Bao) trainingSampleLocked() (trees []*nn.Tree, secs []float64, crit map[string][]Experience) {
 	b.sinceTrain = 0
 	if len(b.exp) == 0 && len(b.critical) == 0 {
-		return
+		return nil, nil, nil
 	}
-	trees := make([]*nn.Tree, 0, len(b.exp))
-	secs := make([]float64, 0, len(b.exp))
+	trees = make([]*nn.Tree, 0, len(b.exp))
+	secs = make([]float64, 0, len(b.exp))
 	// Bootstrap sample (the Thompson draw) ...
 	bootN := len(b.exp) - recentKeep
 	if bootN < 0 {
@@ -605,9 +789,7 @@ func (b *Bao) Retrain() {
 		trees = append(trees, e.Tree)
 		secs = append(secs, e.Secs)
 	}
-	// ... plus the most recent experiences verbatim, so a fresh
-	// catastrophic observation can never be dropped by the resampling and
-	// the mistake is guaranteed to inform the next model.
+	// ... plus the newest experiences verbatim.
 	tail := len(b.exp) - recentKeep
 	if tail < 0 {
 		tail = 0
@@ -616,47 +798,118 @@ func (b *Bao) Retrain() {
 		trees = append(trees, e.Tree)
 		secs = append(secs, e.Secs)
 	}
-
 	for _, exps := range b.critical {
 		for _, e := range exps {
 			trees = append(trees, e.Tree)
 			secs = append(secs, e.Secs)
 		}
 	}
-	start := time.Now()
-	epochs := b.Model.Fit(trees, secs)
-	epochs += b.enforceCritical(trees, secs)
-	wall := time.Since(start).Seconds()
+	crit = make(map[string][]Experience, len(b.critical))
+	for k, v := range b.critical {
+		crit[k] = v
+	}
+	return trees, secs, crit
+}
+
+// finishRetrainLocked publishes a completed fit's bookkeeping. Callers
+// hold b.mu.
+func (b *Bao) finishRetrainLocked(m model.Model, samples, epochs int, wall float64) {
 	b.trained = true
 	b.trainCount++
 	b.TrainEvents = append(b.TrainEvents, TrainEvent{
 		AtQuery:       b.queriesSeen,
-		Samples:       len(trees),
+		Samples:       samples,
 		Epochs:        epochs,
 		WallSeconds:   wall,
-		SimGPUSeconds: cloud.GPUTrainSeconds(len(trees), maxInt(epochs, 1)),
+		SimGPUSeconds: cloud.GPUTrainSeconds(samples, maxInt(epochs, 1)),
 	})
 	o := b.observer
 	o.Retrains.Inc()
 	o.RetrainSeconds.Add(wall)
 	o.TrainEpochs.Add(float64(epochs))
-	o.TrainSamples.Set(float64(len(trees)))
-	if lf, ok := b.Model.(interface{ LastFit() nn.TrainResult }); ok {
+	o.TrainSamples.Set(float64(samples))
+	if lf, ok := m.(interface{ LastFit() nn.TrainResult }); ok {
 		o.TrainLoss.Set(lf.LastFit().FinalLoss)
 	}
 }
 
-// enforceCritical refits with exponentially growing weight on mispredicted
-// critical experiences until the model selects the truly fastest arm for
-// every critical query (bounded rounds). Returns extra epochs used.
-func (b *Bao) enforceCritical(baseTrees []*nn.Tree, baseSecs []float64) int {
-	if len(b.critical) == 0 {
+// Retrain performs one Thompson sampling draw: fit a fresh model on a
+// bootstrap of the experience window, always including the flagged
+// critical experiences, then fine-tune until every critical query's
+// fastest arm is ranked first (§4 "triggered exploration"). The inline
+// path fits the live model while holding the write lock, so concurrent
+// Selects wait out the fit — callers that must keep selecting during
+// training use RetrainAsync instead.
+func (b *Bao) Retrain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	trees, secs, crit := b.trainingSampleLocked()
+	if trees == nil {
+		return
+	}
+	start := time.Now()
+	epochs := b.Model.Fit(trees, secs)
+	epochs += enforceCriticalOn(b.Model, trees, secs, crit)
+	b.finishRetrainLocked(b.Model, len(trees), epochs, time.Since(start).Seconds())
+}
+
+// RetrainAsync performs one Thompson sampling draw on a detached model
+// and hot-swaps it in: the training sample is drawn under a brief lock,
+// the fit runs with no lock held (concurrent Selects keep predicting with
+// the previous model), and the fitted model replaces Bao's under another
+// brief lock. This is the paper's Bao-server training loop: steering
+// stays on the hot path while learning stays off it. Returns false when
+// there was nothing to train on.
+func (b *Bao) RetrainAsync() bool {
+	b.mu.Lock()
+	trees, secs, crit := b.trainingSampleLocked()
+	// Offset the detached model's seed by the retrain ordinal so every
+	// draw starts from a fresh initialization, as the in-place Fit's
+	// internal seed bump would have provided.
+	seed := b.Cfg.Seed + int64(b.trainCount+1)*997
+	b.mu.Unlock()
+	if trees == nil {
+		return false
+	}
+	fresh := b.newDetachedModel(seed)
+	start := time.Now()
+	epochs := fresh.Fit(trees, secs)
+	epochs += enforceCriticalOn(fresh, trees, secs, crit)
+	wall := time.Since(start).Seconds()
+	b.mu.Lock()
+	b.Model = fresh
+	b.finishRetrainLocked(fresh, len(trees), epochs, wall)
+	b.mu.Unlock()
+	return true
+}
+
+// newDetachedModel builds a value model identical in kind to the one New
+// installed, for RetrainAsync to fit off-lock.
+func (b *Bao) newDetachedModel(seed int64) model.Model {
+	var m model.Model
+	if b.Cfg.NewModel != nil {
+		m = b.Cfg.NewModel()
+	} else {
+		m = model.NewTCNN(FeatureDim, b.Cfg.Train, seed)
+	}
+	if w, ok := m.(interface{ SetWorkers(int) }); ok {
+		w.SetWorkers(b.Cfg.Workers)
+	}
+	return m
+}
+
+// enforceCriticalOn refits m with exponentially growing weight on
+// mispredicted critical experiences until the model selects the truly
+// fastest arm for every critical query (bounded rounds). Returns extra
+// epochs used.
+func enforceCriticalOn(m model.Model, baseTrees []*nn.Tree, baseSecs []float64, crit map[string][]Experience) int {
+	if len(crit) == 0 {
 		return 0
 	}
 	extra := 0
 	weight := 1
 	for round := 0; round < 5; round++ {
-		bad := b.mispredictedCritical()
+		bad := mispredictedCriticalOn(m, crit)
 		if len(bad) == 0 {
 			return extra
 		}
@@ -664,26 +917,40 @@ func (b *Bao) enforceCritical(baseTrees []*nn.Tree, baseSecs []float64) int {
 		trees := append([]*nn.Tree{}, baseTrees...)
 		secs := append([]float64{}, baseSecs...)
 		for _, key := range bad {
-			for _, e := range b.critical[key] {
+			for _, e := range crit[key] {
 				for w := 0; w < weight; w++ {
 					trees = append(trees, e.Tree)
 					secs = append(secs, e.Secs)
 				}
 			}
 		}
-		extra += b.Model.Fit(trees, secs)
+		extra += m.Fit(trees, secs)
 	}
 	return extra
 }
 
 // mispredictedCritical returns the keys of critical queries for which the
-// model's chosen arm is materially slower than the observed-fastest arm.
+// current model's chosen arm is materially slower than the
+// observed-fastest arm.
+func (b *Bao) mispredictedCritical() []string {
+	b.mu.RLock()
+	m := b.Model
+	crit := make(map[string][]Experience, len(b.critical))
+	for k, v := range b.critical {
+		crit[k] = v
+	}
+	b.mu.RUnlock()
+	return mispredictedCriticalOn(m, crit)
+}
+
+// mispredictedCriticalOn returns the keys of critical queries for which
+// m's chosen arm is materially slower than the observed-fastest arm.
 // (Several arms often yield the same physical plan — and therefore the
 // same prediction — so exact argmin agreement is too strict; what matters
 // is that the selected plan performs like the best one.)
-func (b *Bao) mispredictedCritical() []string {
+func mispredictedCriticalOn(m model.Model, crit map[string][]Experience) []string {
 	var bad []string
-	for key, exps := range b.critical {
+	for key, exps := range crit {
 		if len(exps) < 2 {
 			continue
 		}
@@ -695,7 +962,7 @@ func (b *Bao) mispredictedCritical() []string {
 				bestObs = i
 			}
 		}
-		preds := b.Model.Predict(trees)
+		preds := m.Predict(trees)
 		bestPred := 0
 		for i, p := range preds {
 			if p < preds[bestPred] {
@@ -711,8 +978,13 @@ func (b *Bao) mispredictedCritical() []string {
 
 // SaveModel persists the trained value model so a deployment can restart
 // without relearning (pair with LoadModel). Only the model is saved; the
-// experience window is rebuilt from live traffic.
+// experience window is rebuilt from live traffic. The read lock is held
+// for the duration of the write, which excludes an inline Retrain from
+// mutating the model mid-save (an async retrain fits a detached model and
+// only its brief swap waits on us).
 func (b *Bao) SaveModel(w io.Writer) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	tm, ok := b.Model.(*model.TCNNModel)
 	if !ok {
 		return fmt.Errorf("core: only the TCNN model supports persistence (have %s)", b.Model.Name())
@@ -721,29 +993,48 @@ func (b *Bao) SaveModel(w io.Writer) error {
 }
 
 // LoadModel restores a value model saved with SaveModel and marks Bao as
-// trained, so arm selection starts immediately.
+// trained, so arm selection starts immediately. The saved weights are
+// loaded into a detached model which is then swapped in under the write
+// lock, so in-flight Selects keep predicting with the previous model and
+// never observe a half-restored network.
 func (b *Bao) LoadModel(r io.Reader) error {
-	tm, ok := b.Model.(*model.TCNNModel)
+	fresh := b.newDetachedModel(b.Cfg.Seed)
+	tm, ok := fresh.(*model.TCNNModel)
 	if !ok {
-		return fmt.Errorf("core: only the TCNN model supports persistence (have %s)", b.Model.Name())
+		return fmt.Errorf("core: only the TCNN model supports persistence (have %s)", fresh.Name())
 	}
 	if err := tm.Load(r); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	b.Model = fresh
 	b.trained = true
 	b.trainCount = maxInt(b.trainCount, b.Cfg.ArmWarmup)
+	b.mu.Unlock()
 	return nil
 }
 
 // MarkCritical registers a query for triggered exploration.
-func (b *Bao) MarkCritical(sql string) { b.markedCrit[sql] = sql }
+func (b *Bao) MarkCritical(sql string) {
+	b.mu.Lock()
+	b.markedCrit[sql] = sql
+	b.mu.Unlock()
+}
 
 // ExploreCritical executes every marked query under every arm, storing the
 // flagged experiences that Retrain will always honor. It returns the total
-// counters spent, so callers can bill the exploration.
+// counters spent, so callers can bill the exploration. Execution runs on
+// the shared engine, so like Run this must not race other executions; the
+// serving layer serializes it behind its execution lock.
 func (b *Bao) ExploreCritical() (executor.Counters, error) {
+	b.mu.RLock()
+	marked := make(map[string]string, len(b.markedCrit))
+	for k, v := range b.markedCrit {
+		marked[k] = v
+	}
+	b.mu.RUnlock()
 	var total executor.Counters
-	for key, sql := range b.markedCrit {
+	for key, sql := range marked {
 		q, err := b.Eng.AnalyzeSQL(sql)
 		if err != nil {
 			return total, err
@@ -765,7 +1056,13 @@ func (b *Bao) ExploreCritical() (executor.Counters, error) {
 				ArmID: arm.ID, Key: key, Critical: true,
 			})
 		}
+		b.mu.Lock()
 		b.critical[key] = exps
+		hook := b.critHook
+		b.mu.Unlock()
+		if hook != nil {
+			hook(key, exps)
+		}
 	}
 	return total, nil
 }

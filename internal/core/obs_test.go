@@ -274,3 +274,54 @@ func TestDecisionLoopMetricsAndTraces(t *testing.T) {
 		t.Fatalf("trace warm-up flag = %v", newest.WarmUp)
 	}
 }
+
+// TestAddExternalExperienceEarlyRetrain covers the off-policy side of the
+// §3.2 mistake-driven loop: an external (advisor-mode) execution that
+// grossly exceeds the model's prediction must trigger an early retrain
+// through the same shared admission path the on-policy Observe uses.
+func TestAddExternalExperienceEarlyRetrain(t *testing.T) {
+	e := buildIMDbEngine(t)
+	stub := &stubModel{pred: 0.001}
+	cfg := FastConfig()
+	cfg.RetrainEvery = 1000 // keep the schedule out of the way
+	cfg.ArmWarmup = 0
+	cfg.NewModel = func() model.Model { return stub }
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+
+	plan, err := e.PlanSQL(obsTestSQL, planner.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed past the >=16 window floor and train once so predictions exist.
+	for i := 0; i < 16; i++ {
+		b.AddExternalExperience(plan, executorCounters(1000, 10, 0))
+	}
+	b.Retrain()
+	if b.trainCount != 1 {
+		t.Fatalf("setup retrain: trainCount=%d", b.trainCount)
+	}
+	// Fast external execution: predicted 1ms, observed ~2ms — no indictment.
+	b.AddExternalExperience(plan, executorCounters(1000, 10, 0))
+	if b.trainCount != 1 {
+		t.Fatalf("benign external experience retrained (trainCount=%d)", b.trainCount)
+	}
+	// Slow external execution: ~200ms against a 1ms prediction, past the
+	// absolute floor and >=2 since the last retrain — retrain immediately.
+	b.AddExternalExperience(plan, executorCounters(0, 1000, 0))
+	if b.trainCount != 2 || b.sinceTrain != 0 {
+		t.Fatalf("gross external misprediction did not early-retrain (trainCount=%d sinceTrain=%d)",
+			b.trainCount, b.sinceTrain)
+	}
+	snap := b.Stats()
+	if got := snap.Counter("bao_early_retrains_total"); got != 1 {
+		t.Fatalf("bao_early_retrains_total = %v, want 1", got)
+	}
+	if got := snap.Counter("bao_gross_mispredictions_total"); got != 1 {
+		t.Fatalf("bao_gross_mispredictions_total = %v, want 1", got)
+	}
+	// The window gauge is maintained exactly once per admission.
+	if got := snap.Gauge("bao_experience_window"); got != 18 {
+		t.Fatalf("bao_experience_window = %v, want 18", got)
+	}
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"bao/internal/nn"
@@ -48,7 +49,9 @@ func TestPredictParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// Small batches must stay on the sequential path (no replica allocation).
+// Small batches must stay on the sequential path: one pooled replica (the
+// minimum any Predict call uses, so concurrent callers never share layer
+// scratch), never a parallel fan-out.
 func TestPredictSmallBatchSequential(t *testing.T) {
 	trees, secs := syntheticData(40, 5)
 	tc := nn.DefaultTrainConfig()
@@ -57,7 +60,37 @@ func TestPredictSmallBatchSequential(t *testing.T) {
 	m.Fit(trees, secs)
 	m.SetWorkers(8)
 	_ = m.Predict(trees[:parallelPredictMin-1])
-	if len(m.replicas) != 0 {
-		t.Fatalf("small batch allocated %d replicas", len(m.replicas))
+	if len(m.replicas) > 1 {
+		t.Fatalf("small batch fanned out across %d replicas", len(m.replicas))
 	}
+}
+
+// Concurrent Predict calls on one trained model must be race-free and
+// agree with the sequential result (the serving layer's read-mostly fast
+// path shares the current model across in-flight selects).
+func TestPredictConcurrentCallers(t *testing.T) {
+	trees, secs := syntheticData(64, 5)
+	tc := nn.DefaultTrainConfig()
+	tc.MaxEpochs = 2
+	m := NewTCNN(4, tc, 13)
+	m.Fit(trees[:40], secs[:40])
+	m.SetWorkers(2)
+	want := m.Predict(trees[40:])
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				got := m.Predict(trees[40:])
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("concurrent Predict[%d] = %g, want %g", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

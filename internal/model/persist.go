@@ -40,8 +40,10 @@ func (m *TCNNModel) Load(r io.Reader) error {
 		return fmt.Errorf("model: load: %w", err)
 	}
 	m.cfg = st.Cfg
+	m.repMu.Lock()
 	m.net = nn.NewTCNN(st.Cfg)
 	m.replicas = nil // inference replicas alias the replaced network
+	m.repMu.Unlock()
 	// Validate shape compatibility before restoring.
 	params := m.net.Params()
 	if len(params) != len(st.Weights) {

@@ -14,6 +14,12 @@ func expm1(x float64) float64 { return math.Expm1(x) }
 
 // TCNNModel is Bao's value model: the tree convolutional network of
 // Figure 5, trained with Adam on log-space targets.
+//
+// Predict is safe for concurrent callers: forward passes run on
+// weight-sharing replicas checked out of a pool, so each in-flight call
+// owns private per-layer scratch state. Fit and Load are NOT safe to run
+// concurrently with Predict — callers that retrain while serving (the Bao
+// server) fit a detached model instance and swap it in whole.
 type TCNNModel struct {
 	net        *nn.TCNN
 	cfg        nn.TCNNConfig
@@ -23,8 +29,10 @@ type TCNNModel struct {
 	yMin, yMax float64 // observed target range, in log space
 	fit        bool
 	lastFit    nn.TrainResult
-	workers    int        // inference fan-out; 0 = one per CPU
-	replicas   []*nn.TCNN // weight-sharing inference replicas (lazy)
+	workers    int // inference fan-out; 0 = one per CPU
+
+	repMu    sync.Mutex // guards replicas (the idle-replica pool)
+	replicas []*nn.TCNN // idle weight-sharing inference replicas of net
 }
 
 // NewTCNN builds an untrained TCNN model for the given input feature
@@ -72,8 +80,10 @@ func (m *TCNNModel) Fit(trees []*nn.Tree, secs []float64) int {
 		ys[i] = (ys[i] - m.mean) / m.std
 	}
 	m.cfg.Seed++ // fresh initialization per bootstrap
+	m.repMu.Lock()
 	m.net = nn.NewTCNN(m.cfg)
 	m.replicas = nil // replicas alias the old network's weights
+	m.repMu.Unlock()
 	res := m.net.Train(trees, ys, m.train)
 	m.fit = true
 	m.lastFit = res
@@ -102,9 +112,12 @@ func (m *TCNNModel) LastFit() nn.TrainResult { return m.lastFit }
 const parallelPredictMin = 8
 
 // Predict implements Model. Trees are fanned across weight-sharing
-// network replicas (one per worker, cached across calls); every output
-// index is computed by exactly one worker from read-only weights, so the
-// result is identical to the sequential loop at any worker count.
+// network replicas checked out of a pool (and returned afterwards); every
+// output index is computed by exactly one worker from read-only weights,
+// so the result is identical to the sequential loop at any worker count.
+// Because each call forwards only on checked-out replicas — never on the
+// master network directly — any number of Predict calls may run
+// concurrently against the same trained model.
 func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {
 	out := make([]float64, len(trees))
 	if !m.fit {
@@ -114,14 +127,16 @@ func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {
 	if w > len(trees) {
 		w = len(trees)
 	}
-	if w <= 1 || len(trees) < parallelPredictMin {
+	if len(trees) < parallelPredictMin {
+		w = 1
+	}
+	owner, nets := m.checkout(w)
+	defer m.release(owner, nets)
+	if w <= 1 {
 		for i, t := range trees {
-			out[i] = m.postprocess(m.net.Forward(t))
+			out[i] = m.postprocess(nets[0].Forward(t))
 		}
 		return out
-	}
-	for len(m.replicas) < w-1 {
-		m.replicas = append(m.replicas, m.net.SharedReplica())
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -134,16 +149,46 @@ func (m *TCNNModel) Predict(trees []*nn.Tree) []float64 {
 			out[i] = m.postprocess(net.Forward(trees[i]))
 		}
 	}
-	for i := 0; i < w-1; i++ {
+	for _, net := range nets[1:] {
 		wg.Add(1)
 		go func(net *nn.TCNN) {
 			defer wg.Done()
 			run(net)
-		}(m.replicas[i])
+		}(net)
 	}
-	run(m.net)
+	run(nets[0])
 	wg.Wait()
 	return out
+}
+
+// checkout takes n idle replicas from the pool, building fresh ones when
+// the pool runs dry. The returned owner is the master network the replicas
+// alias; release uses it to discard replicas of a since-replaced network.
+func (m *TCNNModel) checkout(n int) (owner *nn.TCNN, nets []*nn.TCNN) {
+	m.repMu.Lock()
+	owner = m.net
+	take := len(m.replicas)
+	if take > n {
+		take = n
+	}
+	nets = make([]*nn.TCNN, 0, n)
+	nets = append(nets, m.replicas[len(m.replicas)-take:]...)
+	m.replicas = m.replicas[:len(m.replicas)-take]
+	m.repMu.Unlock()
+	for len(nets) < n {
+		nets = append(nets, owner.SharedReplica())
+	}
+	return owner, nets
+}
+
+// release returns replicas to the pool, dropping them when the master
+// network changed while they were out (their weights alias the old one).
+func (m *TCNNModel) release(owner *nn.TCNN, nets []*nn.TCNN) {
+	m.repMu.Lock()
+	if m.net == owner {
+		m.replicas = append(m.replicas, nets...)
+	}
+	m.repMu.Unlock()
 }
 
 // postprocess maps a raw normalized network output back to seconds.

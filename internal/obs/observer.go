@@ -47,6 +47,19 @@ type Observer struct {
 	TrainLoss      *Gauge   // bao_train_loss
 	TrainSamples   *Gauge   // bao_train_samples
 
+	// Serving layer (internal/server): admission control, the async
+	// trainer, model hot-swaps, and the durable experience log.
+	ServeInFlight    *Gauge     // bao_server_inflight
+	ServeThrottled   *Counter   // bao_server_throttled_total
+	ServeSeconds     *Histogram // bao_server_request_seconds
+	HotSwaps         *Counter   // bao_server_model_swaps_total
+	TrainerLag       *Gauge     // bao_server_trainer_lag_seconds
+	RetrainCoalesced *Counter   // bao_server_retrains_coalesced_total
+	LogRecords       *Counter   // bao_server_explog_records_total
+	LogBytes         *Counter   // bao_server_explog_bytes_total
+	LogReplayed      *Counter   // bao_server_explog_replayed_total
+	LogSkipped       *Counter   // bao_server_explog_skipped_total
+
 	// Execution work counters (from executor.Counters) and buffer pool.
 	ExecCPUOps     *Counter    // bao_exec_cpu_ops_total
 	ExecPageHits   *Counter    // bao_exec_page_hits_total
@@ -93,6 +106,17 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		TrainEpochs:    reg.Counter("bao_train_epochs_total", "Accumulated training epochs across retrains."),
 		TrainLoss:      reg.Gauge("bao_train_loss", "Final training loss of the most recent model fit."),
 		TrainSamples:   reg.Gauge("bao_train_samples", "Training-set size of the most recent retrain."),
+
+		ServeInFlight:    reg.Gauge("bao_server_inflight", "Requests currently admitted into the serving layer."),
+		ServeThrottled:   reg.Counter("bao_server_throttled_total", "Requests rejected with 429 by admission control."),
+		ServeSeconds:     reg.Histogram("bao_server_request_seconds", "Server request wall time (admitted requests).", lat),
+		HotSwaps:         reg.Counter("bao_server_model_swaps_total", "Models hot-swapped in by the async trainer."),
+		TrainerLag:       reg.Gauge("bao_server_trainer_lag_seconds", "Signal-to-swap latency of the most recent async retrain."),
+		RetrainCoalesced: reg.Counter("bao_server_retrains_coalesced_total", "Retrain signals coalesced into an already-pending one."),
+		LogRecords:       reg.Counter("bao_server_explog_records_total", "Records appended to the experience log."),
+		LogBytes:         reg.Counter("bao_server_explog_bytes_total", "Bytes appended to the experience log."),
+		LogReplayed:      reg.Counter("bao_server_explog_replayed_total", "Records replayed from the experience log at startup."),
+		LogSkipped:       reg.Counter("bao_server_explog_skipped_total", "Corrupt or truncated experience-log records skipped during replay."),
 
 		ExecCPUOps:     reg.Counter("bao_exec_cpu_ops_total", "Executor CPU work units charged."),
 		ExecPageHits:   reg.Counter("bao_exec_page_hits_total", "Buffer-pool page hits charged by the executor."),

@@ -1,0 +1,235 @@
+// Package baoserver is the concurrent serving layer over a core.Bao
+// optimizer: an HTTP/JSON front end whose read-mostly fast path runs any
+// number of selections concurrently against the current value model, a
+// single background trainer that retrains on a detached model and
+// hot-swaps it in, and a durable append-only experience log replayed on
+// startup so a restarted server resumes with its window, critical-query
+// registry, and (optionally) model intact. This is the paper's Bao-server
+// deployment shape (§2, Figure 2): the advisor stays on the query path
+// while learning and durability stay off it.
+package baoserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"bao/internal/core"
+	"bao/internal/obs"
+)
+
+// Experience-log record kinds.
+const (
+	recExperience = "exp"  // one windowed experience
+	recCritical   = "crit" // one critical query's exploration set
+)
+
+// logRecord is the JSON payload of one experience-log frame.
+type logRecord struct {
+	Kind string            `json:"kind"`
+	Exp  *core.Experience  `json:"exp,omitempty"`
+	Key  string            `json:"key,omitempty"`
+	Exps []core.Experience `json:"exps,omitempty"`
+}
+
+// frameHeaderLen is the fixed prefix of every log frame: a uint32 LE
+// payload length followed by a uint32 LE CRC-32 (IEEE) of the payload.
+const frameHeaderLen = 8
+
+// maxFrameLen bounds a single record; a length above it means the header
+// itself is garbage (torn write), not a huge record.
+const maxFrameLen = 64 << 20
+
+// ExperienceLog is Bao's durable memory: an append-only file of
+// length-prefixed, checksummed JSON records. Appends happen on the
+// observe path (outside Bao's lock, serialized by the log's own mutex);
+// Open scans the file, keeps every intact record for replay, tolerates a
+// truncated tail (the crash case: the process died mid-append), skips
+// corrupt records, and truncates the file back to the last intact frame
+// before reopening it for append.
+type ExperienceLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	o    *obs.Observer
+
+	records  []logRecord // intact records found by Open, for Replay
+	replayed int
+	skipped  int
+}
+
+// OpenExperienceLog opens (creating if absent) the log at path, scans it
+// for intact records, and truncates any corrupt or torn tail so the file
+// ends on a frame boundary. o may be nil (metrics are then dropped).
+func OpenExperienceLog(path string, o *obs.Observer) (*ExperienceLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("baoserver: open experience log: %w", err)
+	}
+	l := &ExperienceLog{f: f, path: path, o: o}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan reads frames from the start of the file, collecting intact records
+// and noting the offset of the last good frame end. A CRC mismatch skips
+// that record and keeps scanning (a flipped bit should not orphan
+// everything after it); a torn or insane header stops the scan (nothing
+// after a torn write is trustworthy). The file is then truncated to the
+// last intact frame so appends resume on a clean boundary.
+func (l *ExperienceLog) scan() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("baoserver: scan experience log: %w", err)
+	}
+	goodEnd := 0
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			l.skipped++ // torn header
+			break
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxFrameLen {
+			l.skipped++ // garbage header; stop, nothing beyond is framed
+			break
+		}
+		if len(data)-off-frameHeaderLen < int(length) {
+			l.skipped++ // torn payload
+			break
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(length)]
+		off += frameHeaderLen + int(length)
+		if crc32.ChecksumIEEE(payload) != sum {
+			l.skipped++ // corrupt record; later frames may still be intact
+			goodEnd = off
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			l.skipped++
+			goodEnd = off
+			continue
+		}
+		l.records = append(l.records, rec)
+		l.replayed++
+		goodEnd = off
+	}
+	if l.o != nil {
+		l.o.LogReplayed.Add(float64(l.replayed))
+		l.o.LogSkipped.Add(float64(l.skipped))
+	}
+	if goodEnd < len(data) {
+		if err := l.f.Truncate(int64(goodEnd)); err != nil {
+			return fmt.Errorf("baoserver: truncate torn log tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+		return fmt.Errorf("baoserver: seek experience log: %w", err)
+	}
+	return nil
+}
+
+// Replay re-admits every intact logged record into b: experiences enter
+// the sliding window (oldest first, so the window slides exactly as it
+// did live) and critical sets restore the triggered-exploration registry.
+// No retrains are scheduled and no hooks fire during replay.
+func (l *ExperienceLog) Replay(b *core.Bao) {
+	var exps []core.Experience
+	for _, rec := range l.records {
+		switch rec.Kind {
+		case recExperience:
+			if rec.Exp != nil {
+				exps = append(exps, *rec.Exp)
+			}
+		case recCritical:
+			b.RestoreCritical(rec.Key, rec.Exps)
+		}
+	}
+	if len(exps) > 0 {
+		b.RestoreExperiences(exps)
+	}
+	l.records = nil // replayed; free the memory
+}
+
+// Replayed returns how many intact records the opening scan found and how
+// many corrupt or torn records it skipped.
+func (l *ExperienceLog) Replayed() (replayed, skipped int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed, l.skipped
+}
+
+// AppendExperience durably appends one windowed experience.
+func (l *ExperienceLog) AppendExperience(e core.Experience) error {
+	return l.append(logRecord{Kind: recExperience, Exp: &e})
+}
+
+// AppendCritical durably appends one critical query's exploration set.
+func (l *ExperienceLog) AppendCritical(key string, exps []core.Experience) error {
+	return l.append(logRecord{Kind: recCritical, Key: key, Exps: exps})
+}
+
+// append frames and writes one record. The frame (header + payload) goes
+// down in a single Write so a crash can tear at most the final record —
+// exactly what scan tolerates.
+func (l *ExperienceLog) append(rec logRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("baoserver: encode log record: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(frameHeaderLen + len(payload))
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("baoserver: experience log is closed")
+	}
+	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("baoserver: append log record: %w", err)
+	}
+	if l.o != nil {
+		l.o.LogRecords.Inc()
+		l.o.LogBytes.Add(float64(buf.Len()))
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *ExperienceLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (l *ExperienceLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,497 @@
+package baoserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"bao/internal/cloud"
+	"bao/internal/core"
+	"bao/internal/obs"
+)
+
+// Config controls a Server.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted requests; excess requests
+	// are rejected with 429 immediately (admission control, so overload
+	// degrades by shedding rather than queueing without bound). Zero
+	// means 64.
+	MaxInFlight int
+	// RequestTimeout bounds each request's handling time. Zero means 30s.
+	RequestTimeout time.Duration
+	// PendingLimit bounds selections awaiting their /v1/observe callback;
+	// the oldest pending selection is dropped when the limit is hit
+	// (clients that never report back must not leak memory). Zero means
+	// 1024.
+	PendingLimit int
+	// LogPath, when set, opens a durable experience log there: every
+	// admitted experience and critical exploration set is appended, and
+	// on startup intact records are replayed into the optimizer.
+	LogPath string
+	// ModelPath, when set, loads the value model from there on startup
+	// (if the file exists) and saves the current model there on shutdown.
+	ModelPath string
+	// TrainDelay artificially stretches each background retrain (test
+	// hook for asserting the fast path is independent of training).
+	TrainDelay time.Duration
+}
+
+// Server is the concurrent Bao serving layer: an HTTP/JSON API over one
+// core.Bao. Selections (the model fast path) run concurrently and
+// lock-free against a snapshot of the current model; executions on the
+// embedded engine are serialized on a single execution lane (the engine's
+// executor counters and buffer pool mutate per execution); training runs
+// on a single background goroutine and hot-swaps fitted models in.
+type Server struct {
+	bao *core.Bao
+	cfg Config
+	o   *obs.Observer
+	log *ExperienceLog
+
+	// execMu is the single execution lane: the embedded engine computes
+	// per-query work as deltas of shared cumulative counters, so
+	// executions must not interleave.
+	execMu sync.Mutex
+
+	admit chan struct{} // admission-control semaphore
+
+	selMu   sync.Mutex
+	pending map[uint64]*core.Selection // selections awaiting /v1/observe
+	order   []uint64                   // FIFO eviction order for pending
+	nextID  uint64
+
+	retrainCh   chan time.Time
+	trainerDone chan struct{}
+	shutOnce    sync.Once
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New wires a server around b: replays the experience log (when
+// configured), loads a persisted model (when configured and present),
+// registers the durability and retrain hooks, and starts the background
+// trainer. The server owns b from here on — callers must not drive b
+// concurrently outside the server's API.
+func New(b *core.Bao, cfg Config) (*Server, error) {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.PendingLimit <= 0 {
+		cfg.PendingLimit = 1024
+	}
+	s := &Server{
+		bao:         b,
+		cfg:         cfg,
+		o:           b.Observer(),
+		admit:       make(chan struct{}, cfg.MaxInFlight),
+		pending:     make(map[uint64]*core.Selection),
+		retrainCh:   make(chan time.Time, 1),
+		trainerDone: make(chan struct{}),
+	}
+	if cfg.LogPath != "" {
+		l, err := OpenExperienceLog(cfg.LogPath, s.o)
+		if err != nil {
+			return nil, err
+		}
+		l.Replay(b)
+		s.log = l
+		b.SetExperienceHook(func(e core.Experience) {
+			l.AppendExperience(e) //nolint:errcheck // best effort; surfaced via Sync at shutdown
+		})
+		b.SetCriticalHook(func(key string, exps []core.Experience) {
+			l.AppendCritical(key, exps) //nolint:errcheck // best effort
+		})
+	}
+	if cfg.ModelPath != "" {
+		if f, err := os.Open(cfg.ModelPath); err == nil {
+			lerr := b.LoadModel(f)
+			f.Close()
+			if lerr != nil {
+				s.closeLog()
+				return nil, fmt.Errorf("baoserver: load model %s: %w", cfg.ModelPath, lerr)
+			}
+		}
+	}
+	b.SetRetrainHook(s.signalRetrain)
+	go s.trainer()
+	return s, nil
+}
+
+// Bao returns the wrapped optimizer (status inspection; do not drive its
+// mutating API outside the server).
+func (s *Server) Bao() *core.Bao { return s.bao }
+
+// Log returns the durable experience log, or nil when not configured.
+func (s *Server) Log() *ExperienceLog { return s.log }
+
+// Handler returns the server's HTTP handler:
+//
+//	POST /v1/select    {"sql": ...} → arm choice; execution is the caller's
+//	POST /v1/observe   {"selection_id": ..., "secs": ...} → feedback
+//	POST /v1/query     {"sql": ...} → full select-execute-observe loop
+//	GET  /v1/model     → current value model (binary)
+//	POST /v1/model     ← value model to hot-swap in
+//	POST /v1/critical  {"sql": ...} → mark + explore a critical query
+//	GET  /v1/status    → JSON summary
+//	GET  /metrics, /debug/traces → observability (unthrottled)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/select", s.admitted(s.handleSelect))
+	mux.HandleFunc("/v1/observe", s.admitted(s.handleObserve))
+	mux.HandleFunc("/v1/query", s.admitted(s.handleQuery))
+	mux.HandleFunc("/v1/model", s.admitted(s.handleModel))
+	mux.HandleFunc("/v1/critical", s.admitted(s.handleCritical))
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.Handle("/", obs.Handler(s.o)) // /metrics and /debug/traces
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
+}
+
+// Start binds addr (":0" picks a free port) and serves in a goroutine.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // closed via Shutdown
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: the listener closes and in-flight
+// requests drain (bounded by ctx), the trainer finishes its current fit
+// and exits, the experience log is flushed to stable storage, and the
+// model is persisted when a path is configured. The wrapped optimizer
+// reverts to inline (library) retraining semantics. Idempotent; only the
+// first call does the work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var firstErr error
+	s.shutOnce.Do(func() { firstErr = s.shutdown(ctx) })
+	return firstErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	var firstErr error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// With the HTTP front drained nothing can signal the trainer anymore;
+	// detach the hooks, then let the trainer drain its channel and exit.
+	s.bao.SetRetrainHook(nil)
+	s.bao.SetExperienceHook(nil)
+	s.bao.SetCriticalHook(nil)
+	close(s.retrainCh)
+	select {
+	case <-s.trainerDone:
+	case <-ctx.Done():
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
+	if s.cfg.ModelPath != "" && s.bao.Trained() {
+		if err := s.saveModelFile(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.closeLog(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (s *Server) closeLog() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+func (s *Server) saveModelFile() error {
+	f, err := os.Create(s.cfg.ModelPath)
+	if err != nil {
+		return err
+	}
+	if err := s.bao.SaveModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// admitted wraps a handler with admission control: a bounded in-flight
+// semaphore (429 on overflow), the in-flight gauge, and the request
+// latency histogram.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.o.ServeThrottled.Inc()
+			http.Error(w, "too many in-flight requests", http.StatusTooManyRequests)
+			return
+		}
+		s.o.ServeInFlight.Set(float64(len(s.admit)))
+		start := time.Now()
+		defer func() {
+			<-s.admit
+			s.o.ServeInFlight.Set(float64(len(s.admit)))
+			s.o.ServeSeconds.Observe(time.Since(start).Seconds())
+		}()
+		h(w, r)
+	}
+}
+
+type selectRequest struct {
+	SQL string `json:"sql"`
+}
+
+type selectResponse struct {
+	SelectionID   uint64  `json:"selection_id"`
+	ArmID         int     `json:"arm_id"`
+	Arm           string  `json:"arm"`
+	UsedModel     bool    `json:"used_model"`
+	PredictedSecs float64 `json:"predicted_secs,omitempty"`
+	UniquePlans   int     `json:"unique_plans"`
+}
+
+// handleSelect is the model fast path: plan every arm, predict, choose.
+// The selection is parked awaiting the client's /v1/observe with the
+// observed runtime; this is the paper's advisor integration, where the
+// database executes the chosen plan itself.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sel, err := s.bao.Select(req.SQL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := s.park(sel)
+	resp := selectResponse{
+		SelectionID: id,
+		ArmID:       sel.ArmID,
+		Arm:         s.bao.Cfg.Arms[sel.ArmID].Name,
+		UsedModel:   sel.UsedModel,
+		UniquePlans: sel.UniquePlans,
+	}
+	if sel.Preds != nil {
+		resp.PredictedSecs = sel.Preds[sel.ArmID]
+	}
+	writeJSON(w, resp)
+}
+
+// park stores a selection awaiting feedback, evicting the oldest when the
+// pending table is full.
+func (s *Server) park(sel *core.Selection) uint64 {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = sel
+	s.order = append(s.order, id)
+	for len(s.order) > 0 && len(s.pending) > s.cfg.PendingLimit {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.pending, oldest)
+	}
+	return id
+}
+
+// take removes and returns a parked selection.
+func (s *Server) take(id uint64) *core.Selection {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	sel := s.pending[id]
+	delete(s.pending, id)
+	return sel
+}
+
+type observeRequest struct {
+	SelectionID uint64  `json:"selection_id"`
+	Secs        float64 `json:"secs"`
+}
+
+type observeResponse struct {
+	Experience int  `json:"experience"`
+	Trained    bool `json:"trained"`
+}
+
+// handleObserve closes the loop for a parked selection with the runtime
+// the client measured. Gross mispredictions here can trigger an early
+// retrain signal, exactly as on the in-process path.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sel := s.take(req.SelectionID)
+	if sel == nil {
+		http.Error(w, "unknown or expired selection_id", http.StatusNotFound)
+		return
+	}
+	s.bao.ObserveLatency(sel, req.Secs)
+	writeJSON(w, observeResponse{Experience: s.bao.ExperienceSize(), Trained: s.bao.Trained()})
+}
+
+type queryResponse struct {
+	ArmID         int     `json:"arm_id"`
+	Arm           string  `json:"arm"`
+	UsedModel     bool    `json:"used_model"`
+	Rows          int     `json:"rows"`
+	SimulatedSecs float64 `json:"simulated_secs"`
+}
+
+// handleQuery runs the full select-execute-observe loop on the embedded
+// engine. Selection runs concurrently with other requests; only the
+// execute step takes the single execution lane.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sel, err := s.bao.Select(req.SQL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	execStart := time.Now()
+	s.execMu.Lock()
+	res, err := s.bao.Eng.Execute(sel.Plans[sel.ArmID])
+	s.execMu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if sel.Trace != nil {
+		sel.Trace.AddSpan("execute", execStart, time.Since(execStart),
+			fmt.Sprintf("simulated_secs=%.6f", s.bao.Cfg.Metric.Value(res.Counters)))
+	}
+	s.bao.Observe(sel, res.Counters)
+	writeJSON(w, queryResponse{
+		ArmID:         sel.ArmID,
+		Arm:           s.bao.Cfg.Arms[sel.ArmID].Name,
+		UsedModel:     sel.UsedModel,
+		Rows:          len(res.Rows),
+		SimulatedSecs: cloud.ExecSeconds(res.Counters),
+	})
+}
+
+// handleModel serves GET (download the current trained model) and POST
+// (hot-swap an uploaded model in; selections pick it up immediately).
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if !s.bao.Trained() {
+			http.Error(w, "model not trained yet", http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.bao.SaveModel(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPost:
+		if err := s.bao.LoadModel(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"loaded": true, "train_count": s.bao.TrainCount()})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+type criticalResponse struct {
+	Critical    []string `json:"critical"`
+	ExploreSecs float64  `json:"explore_simulated_secs"`
+}
+
+// handleCritical marks the query as performance-critical and runs
+// triggered exploration (every arm, on the execution lane) so the next
+// retrain is guaranteed to rank its fastest arm first.
+func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.bao.MarkCritical(req.SQL)
+	s.execMu.Lock()
+	total, err := s.bao.ExploreCritical()
+	s.execMu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, criticalResponse{
+		Critical:    s.bao.CriticalKeys(),
+		ExploreSecs: cloud.ExecSeconds(total),
+	})
+}
+
+type statusResponse struct {
+	Trained     bool     `json:"trained"`
+	TrainCount  int      `json:"train_count"`
+	Experience  int      `json:"experience"`
+	Critical    []string `json:"critical,omitempty"`
+	Pending     int      `json:"pending_selections"`
+	InFlight    int      `json:"inflight"`
+	LogReplayed int      `json:"log_replayed,omitempty"`
+	LogSkipped  int      `json:"log_skipped,omitempty"`
+}
+
+// handleStatus reports the serving state (unthrottled, so health checks
+// and tests see through admission-control pressure).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.selMu.Lock()
+	pending := len(s.pending)
+	s.selMu.Unlock()
+	resp := statusResponse{
+		Trained:    s.bao.Trained(),
+		TrainCount: s.bao.TrainCount(),
+		Experience: s.bao.ExperienceSize(),
+		Critical:   s.bao.CriticalKeys(),
+		Pending:    pending,
+		InFlight:   len(s.admit),
+	}
+	if s.log != nil {
+		resp.LogReplayed, resp.LogSkipped = s.log.Replayed()
+	}
+	writeJSON(w, resp)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best effort over HTTP
+}

@@ -1,0 +1,39 @@
+package baoserver
+
+import (
+	"time"
+)
+
+// signalRetrain is Bao's retrain hook: a non-blocking send into the
+// trainer's capacity-1 channel. When a retrain is already pending the
+// signal coalesces into it — the pending retrain will train on a window
+// that already includes the experiences behind both signals, so running
+// twice would only burn GPU time (this also folds gross-misprediction
+// early-retrain requests that arrive mid-fit into the next draw).
+func (s *Server) signalRetrain() {
+	select {
+	case s.retrainCh <- time.Now():
+	default:
+		s.o.RetrainCoalesced.Inc()
+	}
+}
+
+// trainer is the single background training goroutine: it drains retrain
+// signals, fits a fresh Thompson-sampling draw on a detached model
+// (core.Bao.RetrainAsync — no lock held during the fit, so in-flight
+// selections keep predicting with the previous model), and hot-swaps the
+// fitted model in. Exits when the signal channel closes at shutdown.
+func (s *Server) trainer() {
+	defer close(s.trainerDone)
+	for signaled := range s.retrainCh {
+		if s.cfg.TrainDelay > 0 {
+			// Test hook: stretch the training window so tests can assert
+			// the fast path never waits on an in-flight retrain.
+			time.Sleep(s.cfg.TrainDelay)
+		}
+		if s.bao.RetrainAsync() {
+			s.o.HotSwaps.Inc()
+			s.o.TrainerLag.Set(time.Since(signaled).Seconds())
+		}
+	}
+}
