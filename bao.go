@@ -22,6 +22,7 @@ package bao
 
 import (
 	"context"
+	"time"
 
 	"bao/internal/catalog"
 	"bao/internal/cloud"
@@ -138,6 +139,20 @@ func StrVal(s string) Value { return storage.StrVal(s) }
 // ExecSeconds converts work counters into simulated seconds (the latency
 // metric all experiments report).
 func ExecSeconds(c Counters) float64 { return cloud.ExecSeconds(c) }
+
+// ErrDeadlineExceeded matches (via errors.Is) executions cancelled at
+// their context deadline. The concrete error is a *DeadlineExceededError
+// carrying the partial work counters accumulated before cancellation.
+var ErrDeadlineExceeded = executor.ErrDeadlineExceeded
+
+// DeadlineExceededError is the typed cancellation error returned by
+// Engine.ExecuteCtx / Optimizer.RunCtx for a query stopped at its
+// deadline.
+type DeadlineExceededError = executor.DeadlineExceededError
+
+// DeadlineBudgetSecs maps a wall-clock deadline onto the simulated clock —
+// the latency a censored experience is recorded at.
+func DeadlineBudgetSecs(d time.Duration) float64 { return cloud.DeadlineBudgetSecs(d) }
 
 // PagesForVM sizes a buffer pool for a simulated VM profile.
 func PagesForVM(vm VMType) int { return cloud.PagesForVM(vm) }

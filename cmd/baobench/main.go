@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; over-budget queries clamp to it as censored observations (0 = off)")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address while experiments run")
 	flag.Parse()
 
@@ -42,7 +43,8 @@ func main() {
 	}
 
 	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed,
-		Workers: *workers, ParallelPlanning: *parallelPlanning, Out: os.Stdout}
+		Workers: *workers, ParallelPlanning: *parallelPlanning,
+		QueryTimeout: *queryTimeout, Out: os.Stdout}
 	s := harness.NewSession(opts)
 
 	experiments := map[string]func() error{

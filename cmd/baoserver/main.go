@@ -8,7 +8,8 @@
 //
 //	baoserver [-listen 127.0.0.1:8765] [-workload IMDb|Stack|Corp] [-scale 0.25]
 //	          [-explog bao.explog] [-model bao.model] [-train 0]
-//	          [-max-inflight 64] [-timeout 30s] [-workers N] [-parallel-planning]
+//	          [-max-inflight 64] [-timeout 30s] [-query-timeout 0]
+//	          [-workers N] [-parallel-planning]
 //
 // Endpoints (see internal/server):
 //
@@ -46,6 +47,7 @@ func main() {
 	modelPath := flag.String("model", "", "value-model path (loaded on startup, saved on shutdown)")
 	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent requests before shedding with 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out queries return 504 and record a censored experience (0 = off)")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	flag.Parse()
@@ -76,6 +78,7 @@ func main() {
 	srv, err := bao.Serve(opt, *listen, bao.ServerConfig{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
+		QueryTimeout:   *queryTimeout,
 		LogPath:        *explog,
 		ModelPath:      *modelPath,
 	})

@@ -9,7 +9,8 @@
 //
 // Usage:
 //
-//	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0] [-workers N] [-parallel-planning]
+//	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0] [-workers N]
+//	         [-parallel-planning] [-query-timeout 0]
 //
 // With -train N, Bao first learns from N workload queries so EXPLAIN
 // advice and SET enable_bao are useful immediately.
@@ -17,6 +18,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +38,7 @@ func main() {
 	train := flag.Int("train", 0, "pre-train Bao on this many workload queries")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out Bao queries record censored experiences (0 = off)")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
@@ -130,9 +134,20 @@ func main() {
 			fmt.Println(tag)
 		case *sqlparser.SelectStmt:
 			start := time.Now()
+			ctx := context.Background()
+			if *queryTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *queryTimeout)
+				defer cancel() //nolint:gocritic // shell loop; a handful of timers is fine
+			}
 			if baoOn {
-				out, sel, err := opt.Run(st.String())
+				out, sel, err := opt.RunCtx(ctx, st.String())
 				if err != nil {
+					if sel != nil && errors.Is(err, bao.ErrDeadlineExceeded) {
+						fmt.Printf("cancelled: exceeded -query-timeout %s (Bao arm %q; recorded as censored experience)\n",
+							*queryTimeout, opt.Cfg.Arms[sel.ArmID].Name)
+						continue
+					}
 					fmt.Println("error:", err)
 					continue
 				}
@@ -142,8 +157,12 @@ func main() {
 					float64(time.Since(start).Microseconds())/1000,
 					opt.Cfg.Arms[sel.ArmID].Name)
 			} else {
-				out, err := eng.Query(st.String())
+				out, err := eng.QueryCtx(ctx, st.String())
 				if err != nil {
+					if errors.Is(err, bao.ErrDeadlineExceeded) {
+						fmt.Printf("cancelled: exceeded -query-timeout %s\n", *queryTimeout)
+						continue
+					}
 					fmt.Println("error:", err)
 					continue
 				}

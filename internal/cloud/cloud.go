@@ -73,6 +73,21 @@ func ExecTime(c executor.Counters) time.Duration {
 	return time.Duration(ExecSeconds(c) * float64(time.Second))
 }
 
+// DeadlineBudgetSecs maps a wall-clock query deadline onto the simulated
+// clock: deadlines are expressed at real-deployment scale, and the
+// compressed datasets run TimeCompression× faster, so the equivalent
+// simulated budget shrinks by the same factor (the inverse of how billing
+// inflates simulated charges back to real scale). A query cancelled at its
+// deadline is recorded as a censored observation at exactly this budget —
+// "the plan took at least this long" — deterministically, because the
+// mapping depends only on the configured deadline, never on wall timing.
+func DeadlineBudgetSecs(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return d.Seconds() / TimeCompression
+}
+
 // CPUSeconds is the CPU-only component (Figure 16a's regret metric).
 func CPUSeconds(c executor.Counters) float64 {
 	return float64(c.CPUOps) / cpuOpsPerSecond

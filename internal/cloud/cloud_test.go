@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"testing"
+	"time"
 
 	"bao/internal/executor"
 )
@@ -99,5 +100,24 @@ func TestBillMinimumsAndCost(t *testing.T) {
 	want := 0.19 + 60.0/TimeCompression/3600*GPUPricePerHour
 	if diff := cost - want; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestDeadlineBudgetSecs(t *testing.T) {
+	if b := DeadlineBudgetSecs(0); b != 0 {
+		t.Fatalf("zero deadline budget = %v, want 0", b)
+	}
+	if b := DeadlineBudgetSecs(-time.Second); b != 0 {
+		t.Fatalf("negative deadline budget = %v, want 0", b)
+	}
+	// A 5s real-scale deadline compresses by TimeCompression onto the
+	// simulated clock.
+	want := 5.0 / TimeCompression
+	if b := DeadlineBudgetSecs(5 * time.Second); b != want {
+		t.Fatalf("budget = %v, want %v", b, want)
+	}
+	// Pure function: same input, same budget, always.
+	if DeadlineBudgetSecs(250*time.Millisecond) != DeadlineBudgetSecs(250*time.Millisecond) {
+		t.Fatal("budget not deterministic")
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -127,13 +129,19 @@ func FastConfig() Config {
 	return c
 }
 
-// Experience is one observed (plan tree, performance) pair (§3).
+// Experience is one observed (plan tree, performance) pair (§3). A
+// censored experience records an execution cancelled at its deadline:
+// Secs is the deadline's simulated-clock budget — a lower bound on the
+// true cost, per the paper's timeout handling — rather than a completed
+// measurement, so bad arms still teach the model without ever running to
+// completion.
 type Experience struct {
 	Tree     *nn.Tree
 	Secs     float64
 	ArmID    int
 	Key      string // query identity, used by triggered exploration
 	Critical bool
+	Censored bool // Secs is a lower bound (execution hit its deadline)
 }
 
 // TrainEvent records one model retrain for cost accounting: the measured
@@ -243,6 +251,12 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 	}
 	if cfg.WindowSize <= 0 {
 		cfg.WindowSize = 2000
+	}
+	// A positive window below the retrain floor would silently never
+	// retrain (len(exp) can never reach minRetrainWindow); clamp it up so
+	// a tiny configured window degrades to the smallest working one.
+	if cfg.WindowSize < minRetrainWindow {
+		cfg.WindowSize = minRetrainWindow
 	}
 	if cfg.RetrainEvery <= 0 {
 		cfg.RetrainEvery = 100
@@ -387,6 +401,15 @@ func (b *Bao) RestoreCritical(key string, exps []Experience) {
 // default arm (the unhinted optimizer) is used, matching the paper's
 // conservative cold start.
 func (b *Bao) Select(sql string) (*Selection, error) {
+	return b.SelectCtx(context.Background(), sql)
+}
+
+// SelectCtx is Select under a context: cancellation is checked between
+// pipeline stages and between per-arm planning steps (each arm plan is the
+// unit of abandonable work), so an abandoned request stops planning within
+// one arm rather than finishing all of them for nobody. A cancelled
+// selection returns the context's error; nothing is recorded.
+func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	o := b.observer
 	selStart := time.Now()
 	tr := o.StartTrace(sql)
@@ -406,7 +429,7 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		workers = b.planArmWorkers()
 	}
 	if workers > 1 {
-		if err := b.planArmsParallel(q, sel, workers); err != nil {
+		if err := b.planArmsParallel(ctx, q, sel, workers); err != nil {
 			return nil, err
 		}
 	} else {
@@ -417,6 +440,9 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 		opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
 			Sampling: b.Eng.Grade() == engine.GradeComSys}
 		for i, arm := range b.Cfg.Arms {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: select cancelled: %w", err)
+			}
 			n, err := opt.Plan(q, arm.Hints)
 			if err != nil {
 				return nil, fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
@@ -424,6 +450,9 @@ func (b *Bao) Select(sql string) (*Selection, error) {
 			sel.Plans[i] = n
 			sel.Candidates[i] = opt.LastCandidates
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: select cancelled: %w", err)
 	}
 	planDone := time.Now()
 	o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
@@ -550,11 +579,16 @@ func (b *Bao) planArmWorkers() int {
 // single extra goroutine. Each arm gets its own Optimizer (the schema and
 // statistics it reads are immutable between queries); all writes land at
 // disjoint indices, so no synchronization beyond the WaitGroup is needed.
-func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, workers int) error {
+// Workers check the context before claiming each arm, so a cancelled
+// request drains the pool within one arm's worth of planning per worker.
+func (b *Bao) planArmsParallel(ctx context.Context, q *planner.Query, sel *Selection, workers int) error {
 	errs := make([]error, len(b.Cfg.Arms))
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(b.Cfg.Arms) {
 				return
@@ -581,6 +615,9 @@ func (b *Bao) planArmsParallel(q *planner.Query, sel *Selection, workers int) er
 	}
 	work()
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: select cancelled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -651,6 +688,75 @@ func (b *Bao) ObserveValue(sel *Selection, secs float64) {
 // executed the selected plan for real and reports what it cost.
 func (b *Bao) ObserveLatency(sel *Selection, secs float64) {
 	b.observe(sel, secs, true)
+}
+
+// ObserveTimeout records a censored experience for a selection whose
+// execution was cancelled at its deadline: the observation is clamped to
+// budgetSecs — the deadline mapped onto the simulated clock
+// (cloud.DeadlineBudgetSecs) — and flagged Censored, so the window learns
+// "this plan takes at least the cap" instead of either dropping the signal
+// or inventing a completion, the paper's §3 treatment of queries that blow
+// past the time limit. The gross-misprediction check runs against the
+// clamped value: a lower bound can only under-trigger the early retrain,
+// never indict the model on fabricated evidence; when even the bound is 8×
+// over the prediction the model retrains exactly as it would for a
+// completed catastrophic plan.
+func (b *Bao) ObserveTimeout(sel *Selection, budgetSecs float64) {
+	o := b.observer
+	o.Queries.Inc()
+	o.QueryTimeouts.Inc()
+	o.CensoredExperiences.Inc()
+	o.ExecSeconds.Observe(budgetSecs)
+	armName := b.Cfg.Arms[sel.ArmID].Name
+	o.ArmObserved.With(armName).Add(budgetSecs)
+	var pred float64
+	if sel.UsedModel && sel.Preds != nil {
+		pred = sel.Preds[sel.ArmID]
+		// No calibration sample: observed/predicted on a censored value
+		// would systematically understate the ratio. Regret still accrues —
+		// at least (budget - pred) was lost.
+		if regret := budgetSecs - pred; regret > 0 {
+			o.ArmRegret.With(armName).Add(regret)
+		}
+	}
+	b.record(Experience{
+		Tree:     sel.Trees[sel.ArmID],
+		Secs:     budgetSecs,
+		ArmID:    sel.ArmID,
+		Key:      sel.SQL,
+		Censored: true,
+	}, pred, true, true, sel.Trace)
+	if tr := sel.Trace; tr != nil {
+		tr.ObservedSecs = budgetSecs
+		tr.DeadlineSecs = budgetSecs
+		tr.Censored = true
+		o.FinishTrace(tr)
+	}
+}
+
+// Abandon discards a selection without recording anything: no experience,
+// no explog append, no retrain signal. The serving layer calls it for
+// requests whose client is gone (HTTP timeout or disconnect) and for
+// executions that failed outright — an abandoned request must leave the
+// learning state exactly as it found it. The decision trace, if any, is
+// finished and published flagged with the reason so dropped work stays
+// visible in /debug/traces.
+func (b *Bao) Abandon(sel *Selection, reason string) {
+	if sel == nil {
+		return
+	}
+	if tr := sel.Trace; tr != nil {
+		tr.AddSpan("abandon", time.Now(), 0, reason)
+		b.observer.FinishTrace(tr)
+	}
+}
+
+// Experiences returns a copy of the sliding window, oldest first
+// (inspection and tests; the trees are shared, not deep-copied).
+func (b *Bao) Experiences() []Experience {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]Experience(nil), b.exp...)
 }
 
 // observe is the shared observation path: record metrics, admit the
@@ -1027,6 +1133,15 @@ func (b *Bao) MarkCritical(sql string) {
 // the shared engine, so like Run this must not race other executions; the
 // serving layer serializes it behind its execution lock.
 func (b *Bao) ExploreCritical() (executor.Counters, error) {
+	return b.ExploreCriticalCtx(context.Background())
+}
+
+// ExploreCriticalCtx is ExploreCritical under a context: exploration
+// checks cancellation between arms and inside each arm's execution, and an
+// aborted exploration stores nothing for the query being explored (a
+// critical set is only useful complete — a partial set would bias the
+// enforcement loop toward whichever arms happened to run).
+func (b *Bao) ExploreCriticalCtx(ctx context.Context) (executor.Counters, error) {
 	b.mu.RLock()
 	marked := make(map[string]string, len(b.markedCrit))
 	for k, v := range b.markedCrit {
@@ -1041,12 +1156,15 @@ func (b *Bao) ExploreCritical() (executor.Counters, error) {
 		}
 		var exps []Experience
 		for _, arm := range b.Cfg.Arms {
+			if err := ctx.Err(); err != nil {
+				return total, fmt.Errorf("core: exploration cancelled: %w", err)
+			}
 			n, _, err := b.Eng.Plan(q, arm.Hints)
 			if err != nil {
 				return total, err
 			}
 			tree := b.Feat.Vectorize(n)
-			res, err := b.Eng.Execute(n)
+			res, err := b.Eng.ExecuteCtx(ctx, n)
 			if err != nil {
 				return total, err
 			}
@@ -1071,6 +1189,21 @@ func (b *Bao) ExploreCritical() (executor.Counters, error) {
 // optimizer when disabled), execute, observe. It returns the engine result
 // and the selection made.
 func (b *Bao) Run(sql string) (*engine.Result, *Selection, error) {
+	return b.RunCtx(context.Background(), sql)
+}
+
+// RunCtx is Run under a context. When the context carries a deadline and
+// execution blows past it, the query stops within one cancellation-check
+// interval, a censored experience is recorded at the deadline's
+// simulated-clock budget (see ObserveTimeout), and the typed
+// executor.ErrDeadlineExceeded — carrying the partial work counters — is
+// returned alongside the selection. A cancellation without a deadline
+// (caller gone) records nothing.
+func (b *Bao) RunCtx(ctx context.Context, sql string) (*engine.Result, *Selection, error) {
+	var budget float64
+	if dl, ok := ctx.Deadline(); ok {
+		budget = cloud.DeadlineBudgetSecs(time.Until(dl))
+	}
 	if !b.Enabled || b.AdvisorMode {
 		// Default optimizer path; advisor mode still learns off-policy.
 		q, err := b.Eng.AnalyzeSQL(sql)
@@ -1081,7 +1214,7 @@ func (b *Bao) Run(sql string) (*engine.Result, *Selection, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := b.Eng.Execute(n)
+		res, err := b.Eng.ExecuteCtx(ctx, n)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -1091,14 +1224,24 @@ func (b *Bao) Run(sql string) (*engine.Result, *Selection, error) {
 		}
 		return res, nil, nil
 	}
-	sel, err := b.Select(sql)
+	sel, err := b.SelectCtx(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	if sel.Trace != nil && budget > 0 {
+		sel.Trace.DeadlineSecs = budget
+	}
 	execStart := time.Now()
-	res, err := b.Eng.Execute(sel.Plans[sel.ArmID])
+	res, err := b.Eng.ExecuteCtx(ctx, sel.Plans[sel.ArmID])
 	if err != nil {
-		return nil, nil, err
+		if errors.Is(err, executor.ErrDeadlineExceeded) && budget > 0 &&
+			errors.Is(err, context.DeadlineExceeded) {
+			sel.Trace.AddSpan("execute", execStart, time.Since(execStart), "deadline exceeded")
+			b.ObserveTimeout(sel, budget)
+		} else {
+			b.Abandon(sel, err.Error())
+		}
+		return nil, sel, err
 	}
 	if sel.Trace != nil {
 		sel.Trace.AddSpan("execute", execStart, time.Since(execStart),

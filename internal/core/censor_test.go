@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bao/internal/cloud"
+	"bao/internal/engine"
+	"bao/internal/executor"
+	"bao/internal/obs"
+	"bao/internal/workload"
+)
+
+const censorTestSQL = "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.production_year > 1990"
+
+// TestWindowSizeClampedToRetrainFloor is the regression test for the
+// config-validation gap: 0 < WindowSize < minRetrainWindow used to pass
+// through New untouched, and since record() only retrains when
+// len(exp) >= minRetrainWindow, such a Bao silently never trained.
+func TestWindowSizeClampedToRetrainFloor(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := FastConfig()
+	cfg.WindowSize = 5 // below the floor; must be clamped, not honored
+	cfg.RetrainEvery = minRetrainWindow
+	cfg.Arms = TopArms(2)
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+	if b.Cfg.WindowSize != minRetrainWindow {
+		t.Fatalf("WindowSize = %d, want clamped to %d", b.Cfg.WindowSize, minRetrainWindow)
+	}
+	for i := 0; i < minRetrainWindow+2; i++ {
+		if _, _, err := b.Run("SELECT COUNT(*) FROM title t WHERE t.kind_id = 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Trained() {
+		t.Fatalf("never trained with tiny configured window (%d experiences held)",
+			b.ExperienceSize())
+	}
+	// Zero/negative still means "use the default", not the floor.
+	cfg2 := FastConfig()
+	cfg2.WindowSize = 0
+	if b2 := New(buildIMDbEngine(t), cfg2); b2.Cfg.WindowSize < 100 {
+		t.Fatalf("zero WindowSize resolved to %d, want the large default", b2.Cfg.WindowSize)
+	}
+}
+
+func TestObserveTimeoutRecordsCensoredExperience(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := FastConfig()
+	cfg.Arms = TopArms(3)
+	cfg.RetrainEvery = 1000
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+	sel, err := b.Select(censorTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 0.25
+	b.ObserveTimeout(sel, budget)
+	exps := b.Experiences()
+	if len(exps) != 1 {
+		t.Fatalf("window holds %d experiences, want 1", len(exps))
+	}
+	got := exps[0]
+	if !got.Censored || got.Secs != budget || got.ArmID != sel.ArmID || got.Tree == nil {
+		t.Fatalf("censored experience = %+v, want Censored at Secs=%v for arm %d",
+			got, budget, sel.ArmID)
+	}
+	snap := b.Stats()
+	if n := snap.Counter("bao_query_timeouts_total"); n != 1 {
+		t.Fatalf("bao_query_timeouts_total = %v, want 1", n)
+	}
+	if n := snap.Counter("bao_censored_experiences_total"); n != 1 {
+		t.Fatalf("bao_censored_experiences_total = %v, want 1", n)
+	}
+}
+
+func TestAbandonRecordsNothing(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := FastConfig()
+	cfg.Arms = TopArms(3)
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+	sel, err := b.Select(censorTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Abandon(sel, "client went away")
+	b.Abandon(nil, "no selection to speak of") // must be nil-safe
+	if n := b.ExperienceSize(); n != 0 {
+		t.Fatalf("abandon leaked %d experiences into the window", n)
+	}
+	if n := b.Stats().Counter("bao_queries_total"); n != 0 {
+		t.Fatalf("abandon counted as a completed query (%v)", n)
+	}
+}
+
+func TestSelectCtxCancelled(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := FastConfig()
+	cfg.Arms = TopArms(3)
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.SelectCtx(ctx, censorTestSQL); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// runCensored builds a fresh engine+Bao with the given worker settings,
+// stalls execution at a fixed page ordinal, and runs one query under a
+// deadline. It returns the abort counters and the recorded experience.
+func runCensored(t *testing.T, workers int, parallel bool) (executor.Counters, Experience) {
+	t.Helper()
+	e := engine.New(engine.GradePostgreSQL, 3000)
+	inst := workload.IMDb(workload.Config{Scale: 0.12, Queries: 1, Seed: 42})
+	if err := inst.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	cfg := FastConfig()
+	cfg.Arms = TopArms(3)
+	cfg.Workers = workers
+	cfg.ParallelPlanning = parallel
+	cfg.RetrainEvery = 1000
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+	e.Exec.Fault = &executor.Fault{AfterPages: 11, Stall: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, sel, err := b.RunCtx(ctx, censorTestSQL)
+	if !errors.Is(err, executor.ErrDeadlineExceeded) {
+		t.Fatalf("workers=%d: err = %v, want ErrDeadlineExceeded", workers, err)
+	}
+	if sel == nil {
+		t.Fatalf("workers=%d: no selection returned", workers)
+	}
+	var de *executor.DeadlineExceededError
+	if !errors.As(err, &de) {
+		t.Fatalf("workers=%d: err = %T", workers, err)
+	}
+	exps := b.Experiences()
+	if len(exps) != 1 || !exps[0].Censored {
+		t.Fatalf("workers=%d: window = %+v, want one censored experience", workers, exps)
+	}
+	return de.Counters, exps[0]
+}
+
+// TestCensoredTimeoutDeterministicAcrossWorkers pins the acceptance
+// criterion: a fault-injected stall at the same simulated-clock point
+// yields byte-identical abort counters and the same censored experience
+// shape regardless of planning concurrency (and, under -race, timing).
+func TestCensoredTimeoutDeterministicAcrossWorkers(t *testing.T) {
+	baseC, baseE := runCensored(t, 1, false)
+	if got := baseC.PageHits + baseC.PageMisses; got != 10 {
+		t.Fatalf("abort pages = %d, want 10 (stall at 11 precedes the charge)", got)
+	}
+	// The library-path budget maps the context's *remaining* time, so its
+	// exact value is wall-dependent; the server path (which knows the
+	// configured deadline) pins it exactly — see the server tests. Here the
+	// bound is that it never exceeds the full deadline's budget.
+	maxBudget := cloud.DeadlineBudgetSecs(10 * time.Millisecond)
+	if baseE.Secs <= 0 || baseE.Secs > maxBudget {
+		t.Fatalf("censored Secs = %v, want in (0, %v]", baseE.Secs, maxBudget)
+	}
+	for _, w := range []int{2, 4} {
+		c, exp := runCensored(t, w, true)
+		if c != baseC {
+			t.Fatalf("workers=%d: abort counters %+v != sequential baseline %+v", w, c, baseC)
+		}
+		if exp.ArmID != baseE.ArmID || !exp.Censored || exp.Secs <= 0 || exp.Secs > maxBudget {
+			t.Fatalf("workers=%d: experience %+v != baseline %+v", w, exp, baseE)
+		}
+	}
+}

@@ -183,16 +183,18 @@ func TestBanditLearnsTrapQuery(t *testing.T) {
 func TestWindowEviction(t *testing.T) {
 	e := buildIMDbEngine(t)
 	cfg := FastConfig()
-	cfg.WindowSize = 10
+	// Above the minRetrainWindow floor (smaller values are clamped up —
+	// see TestWindowSizeClampedToRetrainFloor).
+	cfg.WindowSize = 20
 	cfg.RetrainEvery = 1000 // never retrain in this test
 	b := New(e, cfg)
-	for i := 0; i < 25; i++ {
+	for i := 0; i < 45; i++ {
 		if _, _, err := b.Run("SELECT COUNT(*) FROM title t WHERE t.kind_id = 1"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if b.ExperienceSize() != 10 {
-		t.Fatalf("window size = %d, want 10", b.ExperienceSize())
+	if b.ExperienceSize() != 20 {
+		t.Fatalf("window size = %d, want 20", b.ExperienceSize())
 	}
 }
 

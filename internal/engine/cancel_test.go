@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bao/internal/executor"
+)
+
+const cancelTestSQL = "SELECT COUNT(*) FROM movies m, ratings r WHERE m.id = r.movie_id"
+
+// TestExecuteCtxDeadlineCountersAreDeltas exercises the engine's rewrite
+// of a cancelled execution's counters: the executor accumulates lifetime
+// totals, but the DeadlineExceededError a caller sees must carry only this
+// query's work — otherwise the first query's cost pollutes every later
+// censored observation.
+func TestExecuteCtxDeadlineCountersAreDeltas(t *testing.T) {
+	e := testEngine(t, GradePostgreSQL, 2000, 8000, 1)
+	plan, err := e.PlanSQL(cancelTestSQL, e.SessionHints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a full query first so the executor's lifetime counters are
+	// far from zero.
+	if _, err := e.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	lifetime := e.Exec.C
+
+	const stallAt = 5
+	e.Exec.Fault = &executor.Fault{AfterPages: stallAt, Stall: true}
+	defer func() { e.Exec.Fault = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the stall at page 5 observes the dead context immediately
+	_, err = e.ExecuteCtx(ctx, plan)
+	if !errors.Is(err, executor.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	var de *executor.DeadlineExceededError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T", err)
+	}
+	pages := de.Counters.PageHits + de.Counters.PageMisses
+	if pages != stallAt-1 {
+		t.Fatalf("delta pages = %d, want %d (lifetime leaked into the error? lifetime=%+v)",
+			pages, stallAt-1, lifetime)
+	}
+	if de.Counters.CPUOps >= lifetime.CPUOps {
+		t.Fatalf("delta CPU %d not smaller than lifetime %d", de.Counters.CPUOps, lifetime.CPUOps)
+	}
+}
+
+func TestQueryCtxHonorsCancellation(t *testing.T) {
+	e := testEngine(t, GradePostgreSQL, 500, 2000, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryCtx(ctx, cancelTestSQL); !errors.Is(err, executor.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	// The engine must stay usable after a cancelled run.
+	if _, err := e.Query(cancelTestSQL); err != nil {
+		t.Fatalf("engine broken after cancellation: %v", err)
+	}
+}

@@ -10,6 +10,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -197,28 +199,44 @@ func (e *Engine) PlanSQL(sql string, h planner.Hints) (*planner.Node, error) {
 // Execute runs a plan, returning rows and the work counters for this
 // execution only.
 func (e *Engine) Execute(n *planner.Node) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), n)
+}
+
+// ExecuteCtx runs a plan under a context. A cancelled execution stops
+// within one cancellation-check interval and returns a
+// *executor.DeadlineExceededError whose Counters hold this execution's
+// partial work (the per-query delta, not the executor's lifetime totals) —
+// the evidence a censored observation is built from.
+func (e *Engine) ExecuteCtx(ctx context.Context, n *planner.Node) (*Result, error) {
 	before := e.Exec.C
-	rows, err := e.Exec.Run(n)
+	rows, err := e.Exec.RunCtx(ctx, n)
+	after := e.Exec.C
+	delta := executor.Counters{
+		CPUOps:     after.CPUOps - before.CPUOps,
+		PageHits:   after.PageHits - before.PageHits,
+		PageMisses: after.PageMisses - before.PageMisses,
+		RandReads:  after.RandReads - before.RandReads,
+		RowsOut:    after.RowsOut - before.RowsOut,
+	}
 	if err != nil {
+		var de *executor.DeadlineExceededError
+		if errors.As(err, &de) {
+			de.Counters = delta
+		}
 		return nil, err
 	}
-	after := e.Exec.C
-	return &Result{
-		Cols: n.Cols,
-		Rows: rows,
-		Counters: executor.Counters{
-			CPUOps:     after.CPUOps - before.CPUOps,
-			PageHits:   after.PageHits - before.PageHits,
-			PageMisses: after.PageMisses - before.PageMisses,
-			RandReads:  after.RandReads - before.RandReads,
-			RowsOut:    after.RowsOut - before.RowsOut,
-		},
-	}, nil
+	return &Result{Cols: n.Cols, Rows: rows, Counters: delta}, nil
 }
 
 // Query is the convenience path: parse, plan under the session hints, and
 // execute.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx is Query under a context; see ExecuteCtx for cancellation
+// semantics.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	q, err := e.AnalyzeSQL(sql)
 	if err != nil {
 		return nil, err
@@ -227,7 +245,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Execute(n)
+	res, err := e.ExecuteCtx(ctx, n)
 	if err != nil {
 		return nil, err
 	}

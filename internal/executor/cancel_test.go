@@ -1,0 +1,147 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bao/internal/catalog"
+	"bao/internal/planner"
+)
+
+// bigScanFixture builds a table large enough that its scan spans many
+// pages, so fault triggers and cancellation checks have room to fire.
+func bigScanFixture(rows int64) (*fixture, *planner.Node) {
+	f := newFixture(16)
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	f.addTable(catalog.MustTable("big", catalog.Column{Name: "a", Type: catalog.Int}),
+		intRows(vals...))
+	return f, scanNode("big", "a")
+}
+
+func TestRunCtxUncancelledMatchesRun(t *testing.T) {
+	f1, n1 := bigScanFixture(5000)
+	rows1, err := f1.ex.Run(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, n2 := bigScanFixture(5000)
+	rows2, err := f2.ex.RunCtx(context.Background(), n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows1) != len(rows2) || f1.ex.C != f2.ex.C {
+		t.Fatalf("RunCtx diverged from Run: %d/%d rows, %+v vs %+v",
+			len(rows1), len(rows2), f1.ex.C, f2.ex.C)
+	}
+}
+
+func TestCancelledContextStopsRun(t *testing.T) {
+	f, n := bigScanFixture(100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := f.ex.RunCtx(ctx, n)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if rows != nil {
+		t.Fatalf("cancelled run returned rows: %d", len(rows))
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	var de *DeadlineExceededError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *DeadlineExceededError", err)
+	}
+	// The run must have stopped within one cancellation-check interval of
+	// work: the first tick past the interval sees the dead context.
+	pages := de.Counters.PageHits + de.Counters.PageMisses
+	if pages > cancelCheckInterval {
+		t.Fatalf("run charged %d pages after cancellation, want ≤ %d", pages, cancelCheckInterval)
+	}
+}
+
+func TestFaultErrFailsDeterministically(t *testing.T) {
+	injected := errors.New("disk on fire")
+	var first Counters
+	for trial := 0; trial < 3; trial++ {
+		f, n := bigScanFixture(50_000)
+		f.ex.Fault = &Fault{AfterPages: 7, Err: injected}
+		_, err := f.ex.RunCtx(context.Background(), n)
+		if !errors.Is(err, injected) {
+			t.Fatalf("trial %d: err = %v, want injected fault", trial, err)
+		}
+		if errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("trial %d: plain fault must not read as a deadline", trial)
+		}
+		// Trigger precedes the charge: exactly AfterPages-1 accesses billed.
+		if got := f.ex.C.PageHits + f.ex.C.PageMisses; got != 6 {
+			t.Fatalf("trial %d: %d pages charged, want 6", trial, got)
+		}
+		if trial == 0 {
+			first = f.ex.C
+		} else if f.ex.C != first {
+			t.Fatalf("trial %d: counters %+v differ from first run %+v", trial, f.ex.C, first)
+		}
+	}
+}
+
+func TestFaultStallCancelIsByteIdentical(t *testing.T) {
+	const stallAt = 9
+	var first Counters
+	for trial := 0; trial < 4; trial++ {
+		f, n := bigScanFixture(50_000)
+		f.ex.Fault = &Fault{AfterPages: stallAt, Stall: true}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, err := f.ex.RunCtx(ctx, n)
+		cancel()
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("trial %d: err = %v, want ErrDeadlineExceeded", trial, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("trial %d: err = %v, want to unwrap to context.DeadlineExceeded", trial, err)
+		}
+		var de *DeadlineExceededError
+		if !errors.As(err, &de) {
+			t.Fatalf("trial %d: err = %T", trial, err)
+		}
+		// The stall pins the abort to a page ordinal, so the counters carry
+		// exactly the work before that page — regardless of how long the
+		// context took to fire.
+		if got := de.Counters.PageHits + de.Counters.PageMisses; got != stallAt-1 {
+			t.Fatalf("trial %d: %d pages at abort, want %d", trial, got, stallAt-1)
+		}
+		if trial == 0 {
+			first = de.Counters
+		} else if de.Counters != first {
+			t.Fatalf("trial %d: abort counters %+v differ from first run %+v", trial, de.Counters, first)
+		}
+	}
+}
+
+func TestFaultDoesNotFireWithoutReachingPage(t *testing.T) {
+	f, n := bigScanFixture(100)
+	f.ex.Fault = &Fault{AfterPages: 1 << 40, Err: errors.New("unreachable")}
+	if _, err := f.ex.RunCtx(context.Background(), n); err != nil {
+		t.Fatalf("fault beyond the plan's work fired: %v", err)
+	}
+}
+
+func TestDeadlineErrorMessageCarriesWork(t *testing.T) {
+	e := &DeadlineExceededError{
+		Counters: Counters{PageHits: 3, PageMisses: 4, CPUOps: 50},
+		Cause:    context.DeadlineExceeded,
+	}
+	msg := e.Error()
+	if msg == "" || !errors.Is(e, ErrDeadlineExceeded) {
+		t.Fatalf("malformed error: %q", msg)
+	}
+}

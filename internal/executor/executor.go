@@ -11,6 +11,8 @@
 package executor
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -52,17 +54,81 @@ func (c *Counters) Add(o Counters) {
 	c.RowsOut += o.RowsOut
 }
 
+// ErrDeadlineExceeded is the sentinel for executions stopped by context
+// cancellation (deadline or client disconnect). Test with errors.Is; the
+// concrete *DeadlineExceededError carries the counters accumulated before
+// the plan was abandoned, which is the censored observation's evidence.
+var ErrDeadlineExceeded = errors.New("executor: deadline exceeded")
+
+// DeadlineExceededError reports an execution cancelled mid-plan. Counters
+// hold the work charged up to the cancellation point — for fault-injected
+// stalls this is exact and deterministic (the stall pins the abort to a
+// page ordinal), for free-running cancellation it is wherever the
+// amortized check caught the context.
+type DeadlineExceededError struct {
+	Counters Counters // work accumulated before execution stopped
+	Cause    error    // the context's error (DeadlineExceeded or Canceled)
+}
+
+// Error formats the cancellation with the work wasted so far.
+func (e *DeadlineExceededError) Error() string {
+	return fmt.Sprintf("executor: execution cancelled after %d page accesses, %d cpu ops: %v",
+		e.Counters.PageHits+e.Counters.PageMisses, e.Counters.CPUOps, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrDeadlineExceeded) match.
+func (e *DeadlineExceededError) Is(target error) bool { return target == ErrDeadlineExceeded }
+
+// Unwrap exposes the context cause, so errors.Is against
+// context.DeadlineExceeded / context.Canceled distinguishes a deadline
+// from a disconnect.
+func (e *DeadlineExceededError) Unwrap() error { return e.Cause }
+
+// cancelCheckInterval is how many progress ticks (page accesses and row
+// batches) pass between context checks: large enough to keep ctx.Err()
+// off the per-row hot path, small enough that a cancelled query stops
+// within a bounded slice of work.
+const cancelCheckInterval = 1024
+
+// Fault is the executor's fault-injection hook: after exactly AfterPages
+// page accesses within one RunCtx, the executor either returns Err (a
+// deterministic mid-plan failure) or, when Stall is set, blocks as if on
+// stuck I/O until the run's context is cancelled. Because the trigger is a
+// page ordinal — not wall time — the counters at the abort point are
+// byte-identical across runs, race mode, and worker counts, which is what
+// makes the timeout, error, and cancellation paths deterministically
+// testable.
+type Fault struct {
+	AfterPages int64 // trigger on the AfterPages-th page access (1-based)
+	Err        error // non-nil: fail the run with this error
+	Stall      bool  // block until the context is cancelled instead
+}
+
+// execInterrupt unwinds a cancelled or faulted execution out of the
+// operator tree via panic/recover, so the per-operator code paths carry no
+// error plumbing for a condition checked once per cancelCheckInterval.
+type execInterrupt struct {
+	cause     error
+	cancelled bool // true for context cancellation (→ DeadlineExceededError)
+}
+
 // Executor runs plans against a database through a buffer pool. When
 // Trace is non-nil, eval records each node's actual output cardinality
 // into it (EXPLAIN ANALYZE). Ops, when non-nil, counts plan-node
 // evaluations by operator (one atomic increment per node per query, so it
-// stays off the per-row hot path).
+// stays off the per-row hot path). Fault, when non-nil, injects a
+// deterministic failure or stall (see Fault).
 type Executor struct {
 	DB    *storage.Database
 	Pool  *bufferpool.Pool
 	C     Counters
 	Trace map[*planner.Node]int64
 	Ops   *obs.CounterVec
+	Fault *Fault
+
+	ctx        context.Context // current run's context; nil outside RunCtx
+	sinceCheck int             // progress ticks since the last context check
+	runPages   int64           // page accesses within the current run (fault trigger)
 }
 
 // New constructs an executor.
@@ -73,7 +139,35 @@ func New(db *storage.Database, pool *bufferpool.Pool) *Executor {
 // Run executes the plan and returns its rows. Counters accumulate into
 // e.C (callers reset it between queries via ResetCounters).
 func (e *Executor) Run(plan *planner.Node) ([]storage.Row, error) {
-	rows, err := e.eval(plan)
+	return e.RunCtx(context.Background(), plan)
+}
+
+// RunCtx executes the plan under a context: cancellation is checked every
+// cancelCheckInterval progress ticks, and a cancelled run stops charging
+// work and returns a *DeadlineExceededError carrying the counters
+// accumulated so far (partial work stays in e.C — it was really spent).
+func (e *Executor) RunCtx(ctx context.Context, plan *planner.Node) (rows []storage.Row, err error) {
+	e.ctx = ctx
+	e.sinceCheck = 0
+	e.runPages = 0
+	defer func() {
+		e.ctx = nil
+		r := recover()
+		if r == nil {
+			return
+		}
+		in, ok := r.(*execInterrupt)
+		if !ok {
+			panic(r)
+		}
+		rows = nil
+		if in.cancelled {
+			err = &DeadlineExceededError{Counters: e.C, Cause: in.cause}
+		} else {
+			err = in.cause
+		}
+	}()
+	rows, err = e.eval(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +178,47 @@ func (e *Executor) Run(plan *planner.Node) ([]storage.Row, error) {
 // ResetCounters zeroes the accumulated counters.
 func (e *Executor) ResetCounters() { e.C = Counters{} }
 
+// tick advances the cancellation progress counter by n units of work and,
+// once per cancelCheckInterval, polls the run's context. The common case
+// is one integer add and compare; the context read is amortized away from
+// the per-row path.
+func (e *Executor) tick(n int) {
+	e.sinceCheck += n
+	if e.sinceCheck < cancelCheckInterval {
+		return
+	}
+	e.sinceCheck = 0
+	if e.ctx == nil {
+		return
+	}
+	if err := e.ctx.Err(); err != nil {
+		panic(&execInterrupt{cause: err, cancelled: true})
+	}
+}
+
+// faultStep fires the injected fault when the run reaches the configured
+// page ordinal. The trigger precedes the page charge, so counters at the
+// abort exclude the faulting access and depend only on the plan — never on
+// timing.
+func (e *Executor) faultStep() {
+	e.runPages++
+	f := e.Fault
+	if f == nil || e.runPages != f.AfterPages {
+		return
+	}
+	if f.Stall && e.ctx != nil {
+		<-e.ctx.Done()
+		panic(&execInterrupt{cause: e.ctx.Err(), cancelled: true})
+	}
+	if f.Err != nil {
+		panic(&execInterrupt{cause: f.Err})
+	}
+}
+
 // page charges one page access through the buffer pool.
 func (e *Executor) page(table string, index bool, pageNo int, random bool) {
+	e.faultStep()
+	e.tick(1)
 	hit := e.Pool.Access(bufferpool.PageID{Table: table, Index: index, Page: int32(pageNo)})
 	if hit {
 		e.C.PageHits++
@@ -263,6 +396,7 @@ func (e *Executor) indexScan(n *planner.Node) ([]storage.Row, error) {
 	indexOnly := n.Op == planner.OpIndexOnlyScan
 	var out []storage.Row
 	for pos := a; pos < z; pos++ {
+		e.tick(1)
 		ri := int(ix.RowIDs[pos])
 		// Strict string bounds are not tightened by Range; re-check.
 		if n.IndexFilter != nil && !n.IndexFilter.Matches(ix.Col.Value(ri)) {
@@ -310,17 +444,20 @@ func (e *Executor) hashJoin(n *planner.Node) ([]storage.Row, error) {
 	// Build on the inner (right), probe with the outer (left).
 	table := make(map[string][]int, len(right))
 	for i, r := range right {
+		e.tick(1)
 		if k, ok := rowKey(r, n.RightKeys); ok {
 			table[k] = append(table[k], i)
 		}
 	}
 	var out []storage.Row
 	for _, l := range left {
+		e.tick(1)
 		k, ok := rowKey(l, n.LeftKeys)
 		if !ok {
 			continue
 		}
 		for _, ri := range table[k] {
+			e.tick(1)
 			out = append(out, joinRows(l, right[ri]))
 		}
 	}
@@ -347,6 +484,7 @@ func (e *Executor) mergeJoin(n *planner.Node) ([]storage.Row, error) {
 	var out []storage.Row
 	i, j := 0, 0
 	for i < len(left) && j < len(right) {
+		e.tick(1)
 		lv, rv := left[i][lk], right[j][rk]
 		if lv.Null {
 			i++
@@ -374,6 +512,7 @@ func (e *Executor) mergeJoin(n *planner.Node) ([]storage.Row, error) {
 			}
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
+					e.tick(1)
 					if extraKeysMatch(left[a], right[b], n.LeftKeys, n.RightKeys) {
 						out = append(out, joinRows(left[a], right[b]))
 					}
@@ -410,17 +549,20 @@ func (e *Executor) nestLoop(n *planner.Node) ([]storage.Row, error) {
 	// Matches computed via hashing; billing is the naive loop's.
 	table := make(map[string][]int, len(right))
 	for i, r := range right {
+		e.tick(1)
 		if k, ok := rowKey(r, n.RightKeys); ok {
 			table[k] = append(table[k], i)
 		}
 	}
 	var out []storage.Row
 	for _, l := range left {
+		e.tick(1)
 		k, ok := rowKey(l, n.LeftKeys)
 		if !ok {
 			continue
 		}
 		for _, ri := range table[k] {
+			e.tick(1)
 			out = append(out, joinRows(l, right[ri]))
 		}
 	}
@@ -474,6 +616,7 @@ func (e *Executor) indexNestLoop(n *planner.Node) ([]storage.Row, error) {
 	logN := int64(math.Log2(float64(len(ix.RowIDs) + 2)))
 	var out []storage.Row
 	for _, l := range left {
+		e.tick(1)
 		key := l[n.LeftKeys[probe]]
 		if key.Null {
 			continue
@@ -517,6 +660,7 @@ func (e *Executor) sortNode(n *planner.Node) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.tick(len(rows))
 	sort.SliceStable(rows, func(a, b int) bool {
 		for k, col := range n.SortCols {
 			c := compareNullable(rows[a][col], rows[b][col])
@@ -567,6 +711,7 @@ func (e *Executor) aggregate(n *planner.Node) ([]storage.Row, error) {
 	var order []string
 	na := len(n.Aggs)
 	for _, r := range rows {
+		e.tick(1)
 		var kb strings.Builder
 		for _, g := range n.GroupCols {
 			kb.WriteString(r[g].String())
@@ -669,6 +814,7 @@ func (e *Executor) project(n *planner.Node) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.tick(len(rows))
 	out := make([]storage.Row, len(rows))
 	for i, r := range rows {
 		pr := make(storage.Row, len(n.Projection))

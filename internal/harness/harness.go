@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"bao/internal/cloud"
 	"bao/internal/core"
@@ -33,7 +34,13 @@ type Options struct {
 	// ParallelPlanning turns on concurrent arm planning
 	// (core.Config.ParallelPlanning).
 	ParallelPlanning bool
-	Out              io.Writer
+	// QueryTimeout, when positive, imposes a per-query deadline (expressed
+	// at real-deployment scale, like the serving layer's flag). Queries
+	// whose simulated execution exceeds the deadline's compressed budget
+	// are recorded as censored experiences at the budget, and their
+	// latency/bill contributions clamp to it.
+	QueryTimeout time.Duration
+	Out          io.Writer
 }
 
 // DefaultOptions returns the standard experiment scale (cmd/baobench's
@@ -62,6 +69,14 @@ type RunConfig struct {
 	Grade    engine.Grade
 	System   System
 	BaoCfg   core.Config // used when System == SysBao
+	// QueryTimeout is the per-query deadline (zero = none). The harness
+	// runs on the simulated clock, so rather than cancelling on wall time
+	// (which would make runs machine-dependent) it censors post-hoc: any
+	// query whose simulated seconds exceed cloud.DeadlineBudgetSecs of the
+	// deadline is clamped to the budget and, under Bao, observed as a
+	// censored (lower-bound) experience — the same outcome a live
+	// cancellation produces, deterministically.
+	QueryTimeout time.Duration
 }
 
 // QueryRecord is the per-query outcome of a run.
@@ -73,6 +88,7 @@ type QueryRecord struct {
 	ExecSecs  float64
 	PredSecs  float64 // Bao's prediction for the chosen plan (0 pre-training)
 	UsedModel bool
+	Censored  bool // ExecSecs clamped to the deadline budget (true latency ≥ it)
 	Counters  executor.Counters
 }
 
@@ -120,6 +136,7 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 	}
 	ev := 0
 	gpuBilled := 0
+	budget := cloud.DeadlineBudgetSecs(cfg.QueryTimeout)
 	for i, q := range cfg.Workload.Queries {
 		for ev < len(cfg.Workload.Events) && cfg.Workload.Events[ev].BeforeQuery <= i {
 			if err := cfg.Workload.Events[ev].Apply(eng); err != nil {
@@ -138,7 +155,6 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			bao.Observe(sel, out.Counters)
 			rec.ArmID = sel.ArmID
 			rec.UsedModel = sel.UsedModel
 			if sel.Preds != nil {
@@ -146,6 +162,16 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 			}
 			rec.ExecSecs = cloud.ExecSeconds(out.Counters)
 			rec.Counters = out.Counters
+			if budget > 0 && rec.ExecSecs > budget {
+				// Deadline: the run would have been cancelled at the budget,
+				// so charge and learn only up to it — as a censored
+				// lower-bound observation, never a fabricated exact latency.
+				bao.ObserveTimeout(sel, budget)
+				rec.ExecSecs = budget
+				rec.Censored = true
+			} else {
+				bao.Observe(sel, out.Counters)
+			}
 			// Bill any training that happened on this query's observation.
 			for gpuBilled < len(bao.TrainEvents) {
 				res.Bill.AddGPU(bao.TrainEvents[gpuBilled].SimGPUSeconds)
@@ -160,6 +186,10 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 			rec.OptSecs = cloud.PlanSeconds(out.PlanCandidates)
 			rec.ExecSecs = cloud.ExecSeconds(out.Counters)
 			rec.Counters = out.Counters
+			if budget > 0 && rec.ExecSecs > budget {
+				rec.ExecSecs = budget
+				rec.Censored = true
+			}
 		}
 		res.Bill.AddVM(rec.OptSecs + rec.ExecSecs)
 		res.Records = append(res.Records, rec)

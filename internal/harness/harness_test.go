@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"bao/internal/cloud"
 	"bao/internal/engine"
@@ -123,6 +124,61 @@ func TestFmtSecs(t *testing.T) {
 	for in, want := range cases {
 		if got := fmtSecs(in); got != want {
 			t.Fatalf("fmtSecs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRunWorkloadQueryTimeoutCensors exercises the harness's simulated-
+// clock deadline: queries whose execution exceeds the compressed budget
+// clamp to it, flag Censored, and (under Bao) land in the window as
+// censored experiences — deterministically, since nothing depends on wall
+// time.
+func TestRunWorkloadQueryTimeoutCensors(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.QueryTimeout = 100 * time.Millisecond // budget = 100ms/50 = 2ms simulated
+	s := NewSession(opts)
+	run, err := s.Run("IMDb", cloud.N1_4, engine.GradePostgreSQL, SysBao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := cloud.DeadlineBudgetSecs(opts.QueryTimeout)
+	censored := 0
+	for _, q := range run.Records {
+		if q.ExecSecs > budget {
+			t.Fatalf("query %d ran %.6fs past the %.6fs budget uncensored", q.Index, q.ExecSecs, budget)
+		}
+		if q.Censored {
+			if q.ExecSecs != budget {
+				t.Fatalf("censored query %d at %.6fs, want clamped to %.6fs", q.Index, q.ExecSecs, budget)
+			}
+			censored++
+		}
+	}
+	if censored == 0 {
+		t.Fatal("no query hit the deadline; budget too generous for this workload")
+	}
+	inWindow := 0
+	for _, e := range run.Bao.Experiences() {
+		if e.Censored {
+			if e.Secs != budget {
+				t.Fatalf("censored experience at %v, want %v", e.Secs, budget)
+			}
+			inWindow++
+		}
+	}
+	if inWindow == 0 {
+		t.Fatal("censored queries recorded no censored experiences")
+	}
+	// Determinism: the same configuration censors the same queries.
+	again, err := NewSession(opts).Run("IMDb", cloud.N1_4, engine.GradePostgreSQL, SysBao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Records {
+		if run.Records[i].Censored != again.Records[i].Censored {
+			t.Fatalf("query %d censored=%v in run 1 but %v in run 2",
+				i, run.Records[i].Censored, again.Records[i].Censored)
 		}
 	}
 }

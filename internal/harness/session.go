@@ -65,7 +65,8 @@ func (s *Session) Run(wl string, vm cloud.VMType, grade engine.Grade, sys System
 	if err != nil {
 		return nil, err
 	}
-	cfg := RunConfig{Workload: inst, VM: vm, Grade: grade, System: sys}
+	cfg := RunConfig{Workload: inst, VM: vm, Grade: grade, System: sys,
+		QueryTimeout: s.Opts.QueryTimeout}
 	if sys == SysBao {
 		cfg.BaoCfg = s.BaoConfig()
 	}

@@ -40,6 +40,11 @@ type Observer struct {
 	GrossMispred  *Counter   // bao_gross_mispredictions_total
 	EarlyRetrains *Counter   // bao_early_retrains_total
 
+	// Deadline-aware execution: queries cancelled at their deadline and
+	// the censored (lower-bound) experiences recorded for them.
+	QueryTimeouts       *Counter // bao_query_timeouts_total
+	CensoredExperiences *Counter // bao_censored_experiences_total
+
 	// Training.
 	Retrains       *Counter // bao_retrains_total
 	RetrainSeconds *Counter // bao_retrain_wall_seconds_total
@@ -59,6 +64,7 @@ type Observer struct {
 	LogBytes         *Counter   // bao_server_explog_bytes_total
 	LogReplayed      *Counter   // bao_server_explog_replayed_total
 	LogSkipped       *Counter   // bao_server_explog_skipped_total
+	ServeAbandoned   *Counter   // bao_server_abandoned_total
 
 	// Execution work counters (from executor.Counters) and buffer pool.
 	ExecCPUOps     *Counter    // bao_exec_cpu_ops_total
@@ -101,6 +107,9 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		GrossMispred:  reg.Counter("bao_gross_mispredictions_total", "Executions observed >8x over prediction and slow in absolute terms."),
 		EarlyRetrains: reg.Counter("bao_early_retrains_total", "Retrains triggered by gross misprediction rather than schedule."),
 
+		QueryTimeouts:       reg.Counter("bao_query_timeouts_total", "Queries cancelled because execution exceeded the per-query deadline."),
+		CensoredExperiences: reg.Counter("bao_censored_experiences_total", "Censored (lower-bound) experiences recorded for timed-out executions."),
+
 		Retrains:       reg.Counter("bao_retrains_total", "Model retrains (Thompson sampling draws)."),
 		RetrainSeconds: reg.Counter("bao_retrain_wall_seconds_total", "Accumulated retrain wall time."),
 		TrainEpochs:    reg.Counter("bao_train_epochs_total", "Accumulated training epochs across retrains."),
@@ -117,6 +126,7 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		LogBytes:         reg.Counter("bao_server_explog_bytes_total", "Bytes appended to the experience log."),
 		LogReplayed:      reg.Counter("bao_server_explog_replayed_total", "Records replayed from the experience log at startup."),
 		LogSkipped:       reg.Counter("bao_server_explog_skipped_total", "Corrupt or truncated experience-log records skipped during replay."),
+		ServeAbandoned:   reg.Counter("bao_server_abandoned_total", "Requests abandoned mid-flight (timed out at the HTTP layer or client disconnected) that recorded no experience."),
 
 		ExecCPUOps:     reg.Counter("bao_exec_cpu_ops_total", "Executor CPU work units charged."),
 		ExecPageHits:   reg.Counter("bao_exec_page_hits_total", "Buffer-pool page hits charged by the executor."),

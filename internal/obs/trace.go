@@ -35,7 +35,12 @@ type Trace struct {
 	PredictedSecs float64   `json:"predicted_secs"`
 	ObservedSecs  float64   `json:"observed_secs"`
 	Ratio         float64   `json:"observed_over_predicted,omitempty"`
-	Spans         []Span    `json:"spans"`
+	// DeadlineSecs is the simulated-clock execution budget this query ran
+	// under (0 = none); Censored marks an observation clamped to that
+	// budget because the execution was cancelled at its deadline.
+	DeadlineSecs float64 `json:"deadline_secs,omitempty"`
+	Censored     bool    `json:"censored,omitempty"`
+	Spans        []Span  `json:"spans"`
 
 	start time.Time // monotonic anchor for span offsets
 }

@@ -3,6 +3,7 @@ package baoserver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 
 	"bao/internal/cloud"
 	"bao/internal/core"
+	"bao/internal/executor"
 	"bao/internal/obs"
 )
 
@@ -23,7 +25,17 @@ type Config struct {
 	// means 64.
 	MaxInFlight int
 	// RequestTimeout bounds each request's handling time. Zero means 30s.
+	// When it fires the client gets a 503 and the request goroutine is
+	// abandoned: it stops work at the next cancellation check and records
+	// nothing (no experience, no explog append, no pending entry).
 	RequestTimeout time.Duration
+	// QueryTimeout bounds each /v1/query execution. Unlike an abandoned
+	// request, a query cancelled at this deadline is a deliberate learning
+	// signal: the client gets a 504 and Bao records a censored experience
+	// at the deadline's simulated-clock budget — the paper's treatment of
+	// queries that blow past the time limit. Zero disables the per-query
+	// deadline (RequestTimeout still bounds the whole request).
+	QueryTimeout time.Duration
 	// PendingLimit bounds selections awaiting their /v1/observe callback;
 	// the oldest pending selection is dropped when the limit is hit
 	// (clients that never report back must not leak memory). Zero means
@@ -273,6 +285,16 @@ type selectResponse struct {
 	UniquePlans   int     `json:"unique_plans"`
 }
 
+// abandon drops a request whose client is gone — the TimeoutHandler
+// already answered 503, or the connection closed. The abandoned work
+// leaves no trace in the learning state: no experience, no explog append,
+// no pending entry; only the abandonment counter and the (flagged)
+// decision trace record that it happened.
+func (s *Server) abandon(sel *core.Selection, reason string) {
+	s.o.ServeAbandoned.Inc()
+	s.bao.Abandon(sel, reason)
+}
+
 // handleSelect is the model fast path: plan every arm, predict, choose.
 // The selection is parked awaiting the client's /v1/observe with the
 // observed runtime; this is the paper's advisor integration, where the
@@ -282,9 +304,20 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sel, err := s.bao.Select(req.SQL)
+	sel, err := s.bao.SelectCtx(r.Context(), req.SQL)
 	if err != nil {
+		if r.Context().Err() != nil {
+			s.abandon(nil, "select abandoned: "+r.Context().Err().Error())
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Never park a selection for a client that is gone: the entry would
+	// hold a pending slot for a /v1/observe callback that can never come
+	// and leak until eviction.
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(sel, "selection dropped before park: "+cerr.Error())
 		return
 	}
 	id := s.park(sel)
@@ -345,6 +378,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// An abandoned observe must not consume the pending selection or admit
+	// the experience: the client never saw a response, so it will (and
+	// must be able to) retry against the same selection_id.
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(nil, "observe abandoned: "+cerr.Error())
+		return
+	}
 	sel := s.take(req.SelectionID)
 	if sel == nil {
 		http.Error(w, "unknown or expired selection_id", http.StatusNotFound)
@@ -362,30 +402,105 @@ type queryResponse struct {
 	SimulatedSecs float64 `json:"simulated_secs"`
 }
 
+type queryTimeoutResponse struct {
+	Error       string  `json:"error"`
+	ArmID       int     `json:"arm_id"`
+	Arm         string  `json:"arm"`
+	BudgetSecs  float64 `json:"budget_simulated_secs"`
+	PartialSecs float64 `json:"partial_simulated_secs"`
+	Censored    bool    `json:"censored"`
+}
+
 // handleQuery runs the full select-execute-observe loop on the embedded
 // engine. Selection runs concurrently with other requests; only the
-// execute step takes the single execution lane.
+// execute step takes the single execution lane. The request context is
+// threaded all the way into the volcano executor, so three outcomes exist
+// beyond success:
+//
+//   - the per-query deadline (Config.QueryTimeout) fires: execution stops
+//     within one cancellation-check interval, the client gets a 504, and a
+//     censored experience at the deadline's simulated-clock budget enters
+//     the window — the timed-out arm still teaches the model;
+//   - the request is abandoned (TimeoutHandler 503 or client disconnect):
+//     work stops the same way but nothing is recorded anywhere;
+//   - execution fails outright: the selection is released (trace finished,
+//     nothing parked or recorded) and the client gets a 500.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req selectRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sel, err := s.bao.Select(req.SQL)
+	sel, err := s.bao.SelectCtx(r.Context(), req.SQL)
 	if err != nil {
+		if r.Context().Err() != nil {
+			s.abandon(nil, "select abandoned: "+r.Context().Err().Error())
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Don't burn the execution lane for a client that is already gone.
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(sel, "abandoned before execute: "+cerr.Error())
+		return
+	}
+	execCtx := r.Context()
+	var budget float64
+	if s.cfg.QueryTimeout > 0 {
+		// The budget derives from the configured deadline, not remaining
+		// wall time, so the censored observation is reproducible.
+		budget = cloud.DeadlineBudgetSecs(s.cfg.QueryTimeout)
+		var cancel context.CancelFunc
+		execCtx, cancel = context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		if sel.Trace != nil {
+			sel.Trace.DeadlineSecs = budget
+		}
+	}
 	execStart := time.Now()
 	s.execMu.Lock()
-	res, err := s.bao.Eng.Execute(sel.Plans[sel.ArmID])
+	res, err := s.bao.Eng.ExecuteCtx(execCtx, sel.Plans[sel.ArmID])
 	s.execMu.Unlock()
 	if err != nil {
+		// Order matters: if the *request* context died, the client is gone
+		// regardless of which deadline tripped first — drop all signal.
+		if cerr := r.Context().Err(); cerr != nil {
+			s.abandon(sel, "execution abandoned: "+cerr.Error())
+			return
+		}
+		var de *executor.DeadlineExceededError
+		if errors.As(err, &de) && budget > 0 {
+			sel.Trace.AddSpan("execute", execStart, time.Since(execStart), "deadline exceeded")
+			s.bao.ObserveTimeout(sel, budget)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(queryTimeoutResponse{ //nolint:errcheck // best effort over HTTP
+				Error:       "query exceeded its deadline; recorded as censored experience",
+				ArmID:       sel.ArmID,
+				Arm:         s.bao.Cfg.Arms[sel.ArmID].Name,
+				BudgetSecs:  budget,
+				PartialSecs: cloud.ExecSeconds(de.Counters),
+				Censored:    true,
+			})
+			return
+		}
+		// Plain execution failure after a successful Select: release the
+		// selection so nothing lingers (trace finished, no pending entry,
+		// no experience) and surface the error.
+		s.bao.Abandon(sel, "execute failed: "+err.Error())
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if sel.Trace != nil {
 		sel.Trace.AddSpan("execute", execStart, time.Since(execStart),
 			fmt.Sprintf("simulated_secs=%.6f", s.bao.Cfg.Metric.Value(res.Counters)))
+	}
+	// The execution completed and was paid for; a client that vanished in
+	// the meantime must still not grow the window (its 503 already told it
+	// nothing happened).
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(sel, "observation dropped: "+cerr.Error())
+		return
 	}
 	s.bao.Observe(sel, res.Counters)
 	writeJSON(w, queryResponse{
@@ -400,6 +515,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handleModel serves GET (download the current trained model) and POST
 // (hot-swap an uploaded model in; selections pick it up immediately).
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	// Check before the swap, not during: LoadModel reads the body fully
+	// before replacing anything, so a disconnect mid-upload fails the read
+	// and never installs a half-parsed model.
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(nil, "model request abandoned: "+cerr.Error())
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		if !s.bao.Trained() {
@@ -434,11 +556,22 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// Abandoned before any state change: don't even mark the query.
+	if cerr := r.Context().Err(); cerr != nil {
+		s.abandon(nil, "critical abandoned: "+cerr.Error())
+		return
+	}
 	s.bao.MarkCritical(req.SQL)
 	s.execMu.Lock()
-	total, err := s.bao.ExploreCritical()
+	total, err := s.bao.ExploreCriticalCtx(r.Context())
 	s.execMu.Unlock()
 	if err != nil {
+		if r.Context().Err() != nil {
+			// Exploration for the in-progress query stored nothing; the mark
+			// persists, so the next exploration pass covers it.
+			s.abandon(nil, "exploration abandoned: "+r.Context().Err().Error())
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -462,6 +595,9 @@ type statusResponse struct {
 // handleStatus reports the serving state (unthrottled, so health checks
 // and tests see through admission-control pressure).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return // abandoned; nothing to record for a read-only endpoint
+	}
 	s.selMu.Lock()
 	pending := len(s.pending)
 	s.selMu.Unlock()
