@@ -29,6 +29,7 @@ import (
 	"bao/internal/core"
 	"bao/internal/engine"
 	"bao/internal/executor"
+	"bao/internal/guard"
 	"bao/internal/obs"
 	"bao/internal/planner"
 	baoserver "bao/internal/server"
@@ -221,6 +222,50 @@ func Serve(opt *Optimizer, addr string, cfg ServerConfig) (*BaoServer, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Guardrail re-exports: the self-healing decision loop (internal/guard).
+// Enable via Config.Breaker / Config.Validate; when the breaker is open
+// the optimizer serves the default arm (never far worse than the native
+// optimizer) while still recording experience. See DESIGN.md §9 for the
+// degradation ladder.
+type (
+	// BreakerConfig controls the default-plan circuit breaker: trip
+	// thresholds, cool-down length, and half-open probe count. All in
+	// decision counts, never wall time.
+	BreakerConfig = guard.BreakerConfig
+	// ValidateConfig controls the validation gate applied to retrained
+	// candidate models before hot-swap (finiteness + held-out regression).
+	ValidateConfig = guard.ValidateConfig
+	// CircuitBreaker is the runtime breaker; read it from
+	// Optimizer.Breaker (nil unless Config.Breaker.Enabled — every method
+	// is nil-safe).
+	CircuitBreaker = guard.Breaker
+	// BreakerState is the breaker's position: closed, open, or half-open.
+	BreakerState = guard.State
+	// BreakerTransition is one recorded state change, stamped with the
+	// decision count at which it happened.
+	BreakerTransition = guard.Transition
+	// GuardFault injects deterministic faults (fit panics, NaN models,
+	// planner panics) for chaos testing; set as Config.Fault.
+	GuardFault = guard.Fault
+	// CheckpointStore is a directory of versioned, checksummed model
+	// checkpoints with rollback past corrupt generations.
+	CheckpointStore = guard.CheckpointStore
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = guard.Closed
+	BreakerOpen     = guard.Open
+	BreakerHalfOpen = guard.HalfOpen
+)
+
+// OpenCheckpointStore opens (creating if absent) a versioned model
+// checkpoint directory retaining the last keep generations (0 = default).
+// Servers open one automatically via ServerConfig.CheckpointDir.
+func OpenCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	return guard.OpenCheckpointStore(dir, keep)
 }
 
 // OpenExperienceLog opens (creating if absent) a durable experience log,

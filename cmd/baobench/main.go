@@ -66,9 +66,10 @@ func main() {
 		"opttime":  s.OptTime,
 		"ablation": s.Ablation,
 		"charact":  s.Characterize,
+		"chaos":    s.Chaos,
 	}
 	order := []string{"table1", "charact", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "hints", "opttime", "ablation"}
+		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "hints", "opttime", "ablation", "chaos"}
 
 	if *list {
 		ids := make([]string, 0, len(experiments))

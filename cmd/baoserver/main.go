@@ -10,6 +10,7 @@
 //	          [-explog bao.explog] [-model bao.model] [-train 0]
 //	          [-max-inflight 64] [-timeout 30s] [-query-timeout 0]
 //	          [-workers N] [-parallel-planning]
+//	          [-checkpoint-dir DIR] [-checkpoint-keep 5] [-guard=true]
 //
 // Endpoints (see internal/server):
 //
@@ -50,6 +51,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out queries return 504 and record a censored experience (0 = off)")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	ckptDir := flag.String("checkpoint-dir", "", "versioned model checkpoint directory (rolls back past corrupt generations on startup)")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "checkpoint generations to retain (0 = default 5)")
+	guardOn := flag.Bool("guard", true, "enable the model-quality guardrails: validation-gated hot-swap and the default-plan circuit breaker")
 	flag.Parse()
 
 	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
@@ -64,6 +68,10 @@ func main() {
 	cfg := bao.FastConfig()
 	cfg.Workers = *workers
 	cfg.ParallelPlanning = *parallelPlanning
+	if *guardOn {
+		cfg.Breaker = bao.BreakerConfig{Enabled: true}
+		cfg.Validate = bao.ValidateConfig{Enabled: true}
+	}
 	opt := bao.New(eng, cfg)
 	if *train > 0 {
 		fmt.Printf("pre-training Bao on %d queries...\n", *train)
@@ -81,12 +89,18 @@ func main() {
 		QueryTimeout:   *queryTimeout,
 		LogPath:        *explog,
 		ModelPath:      *modelPath,
+		CheckpointDir:  *ckptDir,
+		CheckpointKeep: *ckptKeep,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("baoserver: serving %s on http://%s (experience=%d, trained=%v)\n",
-		*wlName, srv.Addr(), opt.ExperienceSize(), opt.Trained())
+	guardState := "off"
+	if *guardOn {
+		guardState = "on (validation gate + circuit breaker)"
+	}
+	fmt.Printf("baoserver: serving %s on http://%s (experience=%d, trained=%v, guard=%s)\n",
+		*wlName, srv.Addr(), opt.ExperienceSize(), opt.Trained(), guardState)
 	fmt.Printf("  try: curl -s -X POST http://%s/v1/query -d '{\"sql\": \"SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id\"}'\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

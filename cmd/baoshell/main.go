@@ -10,7 +10,10 @@
 // Usage:
 //
 //	baoshell [-workload IMDb|Stack|Corp] [-scale 0.25] [-train 0] [-workers N]
-//	         [-parallel-planning] [-query-timeout 0]
+//	         [-parallel-planning] [-query-timeout 0] [-guard]
+//
+// With -guard, Bao runs behind its guardrails (validation-gated hot-swap
+// and the default-plan circuit breaker); \g prints the guard status line.
 //
 // With -train N, Bao first learns from N workload queries so EXPLAIN
 // advice and SET enable_bao are useful immediately.
@@ -39,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out Bao queries record censored experiences (0 = off)")
+	guardOn := flag.Bool("guard", false, "enable Bao's guardrails: validation-gated hot-swap and the default-plan circuit breaker")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
@@ -63,6 +67,10 @@ func main() {
 	cfg := bao.FastConfig()
 	cfg.Workers = *workers
 	cfg.ParallelPlanning = *parallelPlanning
+	if *guardOn {
+		cfg.Breaker = bao.BreakerConfig{Enabled: true}
+		cfg.Validate = bao.ValidateConfig{Enabled: true}
+	}
 	opt := bao.New(eng, cfg)
 	if *train > 0 {
 		fmt.Printf("pre-training Bao on %d queries...\n", *train)
@@ -75,7 +83,7 @@ func main() {
 	}
 	baoOn := false
 
-	fmt.Println(`type SQL (single line), \t for tables, \q to quit`)
+	fmt.Println(`type SQL (single line), \t for tables, \g for guard status, \q to quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -97,6 +105,9 @@ func main() {
 				}
 				fmt.Printf("  %s(%s)\n", t.Name, strings.Join(cols, ", "))
 			}
+			continue
+		case line == `\g`:
+			printGuardStatus(opt)
 			continue
 		}
 		stmt, err := sqlparser.Parse(line)
@@ -207,6 +218,24 @@ func printRows(res *bao.Result) {
 		}
 		fmt.Println(" " + strings.Join(vals, " | "))
 	}
+}
+
+// printGuardStatus renders the guardrail status line: breaker position,
+// trip count, and the rejection/clamp counters from the optimizer's
+// observer (the same series /metrics exposes).
+func printGuardStatus(opt *bao.Optimizer) {
+	state := "disabled"
+	if br := opt.Breaker(); br != nil {
+		state = br.State().String()
+	}
+	snap := opt.Stats()
+	fmt.Printf("guard: breaker=%s trips=%.0f default-served=%.0f retrains-rejected=%.0f nonfinite-targets=%.0f nonfinite-predictions=%.0f\n",
+		state,
+		snap.Counter("bao_breaker_trips_total"),
+		snap.Counter("bao_breaker_default_served_total"),
+		snap.Counter("bao_retrain_rejected_total"),
+		snap.Counter("bao_nonfinite_targets_total"),
+		snap.Counter("bao_nonfinite_predictions_total"))
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"bao/internal/cloud"
 	"bao/internal/engine"
 	"bao/internal/executor"
+	"bao/internal/guard"
 	"bao/internal/model"
 	"bao/internal/nn"
 	"bao/internal/obs"
@@ -94,6 +96,22 @@ type Config struct {
 	// hint sets collapse to a handful of distinct plans). Exists for
 	// benchmarks and ablation; selections are identical either way.
 	NoPlanDedup bool
+	// Breaker configures the default-plan circuit breaker: when the
+	// learned path repeatedly regresses against the default arm, a
+	// planner worker panics, or predictions go degenerate, Select serves
+	// the default (unhinted) arm for a cool-down before probing its way
+	// back — the paper's "never far worse than the underlying optimizer"
+	// guarantee enforced at serving time. Off by default.
+	Breaker guard.BreakerConfig
+	// Validate configures the validation gate RetrainAsync applies before
+	// hot-swapping a candidate model: the candidate is scored on a
+	// held-out slice of the experience window and rejected (keeping the
+	// incumbent) when it regresses past the threshold or predicts
+	// non-finite values. Off by default.
+	Validate guard.ValidateConfig
+	// Fault injects deterministic guard faults (fit panics, NaN models,
+	// planner panics) for tests and the chaos harness. Nil in production.
+	Fault *guard.Fault
 	// NewModel overrides the value model (Figure 15a swaps in RF/Linear).
 	// When nil a TCNN is used.
 	NewModel func() model.Model
@@ -227,10 +245,15 @@ type Bao struct {
 	queriesSeen int
 	sinceTrain  int
 	trainCount  int
+	fitAttempts int // detached fit attempts, including rejected/panicked ones
 	trained     bool
 	warmupArms  []int // Cfg.Arms indices selectable during warm-up
 	rng         *rand.Rand
 	observer    *obs.Observer
+
+	// breaker is the default-plan circuit breaker; nil unless
+	// Cfg.Breaker.Enabled (every guard call is nil-safe).
+	breaker *guard.Breaker
 
 	// retrainHook, when set, is signaled instead of retraining inline —
 	// the serving layer points it at its trainer goroutine's channel.
@@ -264,6 +287,12 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 	if cfg.Train.Workers == 0 {
 		cfg.Train.Workers = cfg.Workers
 	}
+	if cfg.Breaker.Enabled {
+		cfg.Breaker = cfg.Breaker.WithDefaults()
+	}
+	if cfg.Validate.Enabled {
+		cfg.Validate = cfg.Validate.WithDefaults()
+	}
 	b := &Bao{
 		Cfg:        cfg,
 		Eng:        eng,
@@ -275,6 +304,15 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 	}
 	if b.observer == nil {
 		b.observer = obs.Default()
+	}
+	if cfg.Breaker.Enabled {
+		o := b.observer
+		b.breaker = guard.NewBreaker(cfg.Breaker, func(t guard.Transition) {
+			o.BreakerState.Set(float64(t.To))
+			if t.To == guard.Open {
+				o.BreakerTrips.Inc()
+			}
+		})
 	}
 	if cfg.NewModel != nil {
 		b.Model = cfg.NewModel()
@@ -424,12 +462,43 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	sel.Plans = make([]*planner.Node, len(b.Cfg.Arms))
 	sel.Candidates = make([]int, len(b.Cfg.Arms))
 	sel.Trees = make([]*nn.Tree, len(b.Cfg.Arms))
+	// Snapshot the bandit state under a brief read lock: concurrent
+	// Selects share the current model, and a RetrainAsync hot-swap
+	// arriving mid-query affects only subsequent selections.
+	b.mu.RLock()
+	trained := b.trained
+	mdl := b.Model
+	warm := b.warmupActiveLocked()
+	candidates := b.selectableArmsLocked()
+	windowLen := len(b.exp)
+	b.mu.RUnlock()
+	// The breaker clocks every decision. While it is open the learned
+	// path is not trusted: plan only the default arm — cheap, and immune
+	// to a misbehaving hint-set planner — and serve it, still recording
+	// the experience so the window keeps learning through the outage.
+	if !b.breaker.Allow() {
+		o.BreakerDefault.Inc()
+		opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
+			Sampling: b.Eng.Grade() == engine.GradeComSys}
+		n, cands, err := b.planArm(opt, q, 0)
+		if err != nil {
+			return nil, err
+		}
+		sel.Plans[0], sel.Candidates[0] = n, cands
+		planDone := time.Now()
+		o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
+		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone), "breaker open: default arm only")
+		return b.finishDefault(sel, selStart, planDone, warm, windowLen, "breaker-open")
+	}
 	workers := 1
 	if b.Cfg.ParallelPlanning {
 		workers = b.planArmWorkers()
 	}
+	degraded := false
 	if workers > 1 {
-		if err := b.planArmsParallel(ctx, q, sel, workers); err != nil {
+		var err error
+		degraded, err = b.planArmsParallel(ctx, q, sel, workers)
+		if err != nil {
 			return nil, err
 		}
 	} else {
@@ -439,16 +508,20 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		// optimizer itself carries per-plan scratch (LastCandidates).
 		opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
 			Sampling: b.Eng.Grade() == engine.GradeComSys}
-		for i, arm := range b.Cfg.Arms {
+		for i := range b.Cfg.Arms {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: select cancelled: %w", err)
 			}
-			n, err := opt.Plan(q, arm.Hints)
+			n, cands, err := b.planArm(opt, q, i)
 			if err != nil {
-				return nil, fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
+				if i != 0 && errors.Is(err, errPlannerPanic) {
+					degraded = true
+					continue
+				}
+				return nil, err
 			}
 			sel.Plans[i] = n
-			sel.Candidates[i] = opt.LastCandidates
+			sel.Candidates[i] = cands
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -456,6 +529,14 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	}
 	planDone := time.Now()
 	o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
+	if degraded {
+		// A hint-set planner panicked (and the breaker tripped), but the
+		// default arm planned fine: this query degrades to the default
+		// plan instead of failing.
+		o.BreakerDefault.Inc()
+		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone), "planner panic: degraded to default arm")
+		return b.finishDefault(sel, selStart, planDone, warm, windowLen, "planner-panic")
+	}
 	// Deduplicate before featurizing: hint sets routinely collapse to the
 	// same physical plan, and identical plans featurize to identical trees
 	// and predictions, so each distinct plan is vectorized and inferred
@@ -488,19 +569,24 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		tr.AddSpan("featurize", planDone, featDone.Sub(planDone),
 			fmt.Sprintf("unique=%d deduped=%d", sel.UniquePlans, len(sel.Plans)-sel.UniquePlans))
 	}
-	// Snapshot the bandit state under a brief read lock: concurrent
-	// Selects share the current model, and a RetrainAsync hot-swap
-	// arriving mid-query affects only subsequent selections.
-	b.mu.RLock()
-	trained := b.trained
-	mdl := b.Model
-	warm := b.warmupActiveLocked()
-	candidates := b.selectableArmsLocked()
-	windowLen := len(b.exp)
-	b.mu.RUnlock()
+	breakerNote := ""
 	if trained {
 		inferStart := time.Now()
 		uniqPreds := mdl.Predict(uniqTrees)
+		// Clamp non-finite predictions: one NaN must not poison the argmin
+		// (every comparison against NaN is false), so a degenerate arm is
+		// priced at +infinity-in-practice and loses to any finite one. If
+		// NO prediction is finite the model has nothing usable to say —
+		// trip the breaker and serve the default arm.
+		finite := 0
+		for i, p := range uniqPreds {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				o.NonFinitePreds.Inc()
+				uniqPreds[i] = math.MaxFloat64
+			} else {
+				finite++
+			}
+		}
 		sel.Preds = make([]float64, len(armGroup))
 		for i, g := range armGroup {
 			sel.Preds[i] = uniqPreds[g]
@@ -508,6 +594,16 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		inferDone := time.Now()
 		o.InferSeconds.Observe(inferDone.Sub(inferStart).Seconds())
 		tr.AddSpan("infer", inferStart, inferDone.Sub(inferStart), "")
+		if finite == 0 {
+			b.breaker.Trip("degenerate-predictions")
+			o.BreakerDefault.Inc()
+			sel.Preds = nil
+			breakerNote = "degenerate-predictions"
+			trained = false
+		}
+	}
+	if trained {
+		pickStart := time.Now()
 		// Cost-sanity guard: drop arms whose plan the traditional optimizer
 		// prices two orders of magnitude above the cheapest arm. Bao
 		// second-guesses the cost model's *choices*, not its arithmetic —
@@ -546,7 +642,7 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		}
 		sel.ArmID = best
 		sel.UsedModel = true
-		tr.AddSpan("select_arm", inferDone, time.Since(inferDone), "")
+		tr.AddSpan("select_arm", pickStart, time.Since(pickStart), "")
 	}
 	o.SelectSeconds.Observe(time.Since(selStart).Seconds())
 	o.ArmSelected.With(b.Cfg.Arms[sel.ArmID].Name).Inc()
@@ -556,11 +652,71 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		tr.UsedModel = sel.UsedModel
 		tr.WarmUp = warm
 		tr.WindowSize = windowLen
+		tr.Breaker = breakerNote
 		if sel.Preds != nil {
 			tr.PredictedSecs = sel.Preds[sel.ArmID]
 		}
 	}
 	return sel, nil
+}
+
+// finishDefault completes a selection the guard degraded to the default
+// arm (breaker open, or a planner panic on a non-default arm): featurize
+// the default plan, stamp the trace with the reason, and return with
+// UsedModel false — the observation path records the experience exactly
+// as it would a cold-start default selection, so the window keeps
+// learning while the learned path sits out.
+func (b *Bao) finishDefault(sel *Selection, selStart, planDone time.Time, warm bool, windowLen int, reason string) (*Selection, error) {
+	o := b.observer
+	sel.ArmID = 0
+	sel.UsedModel = false
+	sel.Preds = nil
+	sel.UniquePlans = 1
+	sel.Trees[0] = b.Feat.Vectorize(sel.Plans[0])
+	featDone := time.Now()
+	o.FeatSeconds.Observe(featDone.Sub(planDone).Seconds())
+	o.SelectSeconds.Observe(time.Since(selStart).Seconds())
+	o.ArmSelected.With(b.Cfg.Arms[0].Name).Inc()
+	if tr := sel.Trace; tr != nil {
+		tr.AddSpan("featurize", planDone, featDone.Sub(planDone), "default arm only")
+		tr.ArmID = 0
+		tr.ArmName = b.Cfg.Arms[0].Name
+		tr.UsedModel = false
+		tr.WarmUp = warm
+		tr.WindowSize = windowLen
+		tr.UniquePlans = 1
+		tr.Breaker = reason
+	}
+	return sel, nil
+}
+
+// errPlannerPanic marks a planning error that was a recovered panic: on
+// a non-default arm the selection degrades to the default plan instead of
+// failing (the panicking arm's plan is simply absent this query).
+var errPlannerPanic = errors.New("planner panicked")
+
+// planArm plans one arm, converting a planner panic — real, or injected
+// via Cfg.Fault.PlanPanicArm — into a breaker trip plus an error wrapping
+// errPlannerPanic: one buggy hint-set extension must degrade queries to
+// the default plan, never crash the process (the paper's extensibility
+// story depends on new arms being safe to add).
+func (b *Bao) planArm(opt *planner.Optimizer, q *planner.Query, armIdx int) (n *planner.Node, cands int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.observer.PlannerPanics.Inc()
+			b.breaker.Trip("planner-panic")
+			n, cands = nil, 0
+			err = fmt.Errorf("core: planning arm %s: %w: %v", b.Cfg.Arms[armIdx].Name, errPlannerPanic, r)
+		}
+	}()
+	if f := b.Cfg.Fault; f != nil && f.PlanPanicArm > 0 && armIdx == f.PlanPanicArm {
+		panic("guard: injected planner fault")
+	}
+	n, err = opt.Plan(q, b.Cfg.Arms[armIdx].Hints)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: planning arm %s: %w", b.Cfg.Arms[armIdx].Name, err)
+	}
+	return n, opt.LastCandidates, nil
 }
 
 // planArmWorkers resolves Config.Workers to the fan-out used for arm
@@ -581,7 +737,11 @@ func (b *Bao) planArmWorkers() int {
 // disjoint indices, so no synchronization beyond the WaitGroup is needed.
 // Workers check the context before claiming each arm, so a cancelled
 // request drains the pool within one arm's worth of planning per worker.
-func (b *Bao) planArmsParallel(ctx context.Context, q *planner.Query, sel *Selection, workers int) error {
+// A recovered planner panic on a non-default arm reports degraded=true
+// (the caller serves the default plan); any other error — or a panic on
+// the default arm itself, which leaves nothing to degrade to — fails the
+// selection.
+func (b *Bao) planArmsParallel(ctx context.Context, q *planner.Query, sel *Selection, workers int) (degraded bool, err error) {
 	errs := make([]error, len(b.Cfg.Arms))
 	var next atomic.Int64
 	work := func() {
@@ -593,16 +753,15 @@ func (b *Bao) planArmsParallel(ctx context.Context, q *planner.Query, sel *Selec
 			if i >= len(b.Cfg.Arms) {
 				return
 			}
-			arm := b.Cfg.Arms[i]
 			opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
 				Sampling: b.Eng.Grade() == engine.GradeComSys}
-			n, err := opt.Plan(q, arm.Hints)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: planning arm %s: %w", arm.Name, err)
+			n, cands, perr := b.planArm(opt, q, i)
+			if perr != nil {
+				errs[i] = perr
 				continue
 			}
 			sel.Plans[i] = n
-			sel.Candidates[i] = opt.LastCandidates
+			sel.Candidates[i] = cands
 		}
 	}
 	var wg sync.WaitGroup
@@ -616,14 +775,19 @@ func (b *Bao) planArmsParallel(ctx context.Context, q *planner.Query, sel *Selec
 	work()
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("core: select cancelled: %w", err)
+		return false, fmt.Errorf("core: select cancelled: %w", err)
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for i, perr := range errs {
+		if perr == nil {
+			continue
 		}
+		if i != 0 && errors.Is(perr, errPlannerPanic) {
+			degraded = true
+			continue
+		}
+		return false, perr
 	}
-	return nil
+	return degraded, nil
 }
 
 // warmupActive reports whether arm selection is currently restricted to
@@ -719,6 +883,7 @@ func (b *Bao) ObserveTimeout(sel *Selection, budgetSecs float64) {
 			o.ArmRegret.With(armName).Add(regret)
 		}
 	}
+	b.reportBreakerOutcome(sel, budgetSecs)
 	b.record(Experience{
 		Tree:     sel.Trees[sel.ArmID],
 		Secs:     budgetSecs,
@@ -787,6 +952,9 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 		o.PoolHitRate.Set(st.HitRate())
 	}
 	sel.Trace.AddSpan("observe", obsStart, time.Since(obsStart), "")
+	if allowEarly {
+		b.reportBreakerOutcome(sel, secs)
+	}
 	b.record(Experience{
 		Tree:  sel.Trees[sel.ArmID],
 		Secs:  secs,
@@ -798,6 +966,27 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 		tr.Ratio = ratio
 		o.FinishTrace(tr)
 	}
+}
+
+// reportBreakerOutcome scores one on-policy outcome for the circuit
+// breaker: a model-steered selection of a non-default arm that ran far
+// over what the model predicted for the *default* arm is a serving
+// regression — the learned path made this query materially worse than
+// just not steering, the exact failure mode the paper's §1 guarantee
+// rules out. Both the ratio and an absolute floor must be exceeded, so
+// noise on fast queries never trips anything. Default-served decisions
+// (cold start, warm-up, breaker open) carry no learned-vs-default signal
+// and report nothing; a censored observation reports its budget — a
+// lower bound that can only under-report the regression.
+func (b *Bao) reportBreakerOutcome(sel *Selection, secs float64) {
+	if b.breaker == nil || !sel.UsedModel || sel.Preds == nil {
+		return
+	}
+	c := b.Cfg.Breaker
+	defPred := sel.Preds[0]
+	failure := sel.ArmID != 0 && isFinite(defPred) && defPred > 0 &&
+		secs > c.RegretRatio*defPred && secs > c.RegretFloorSecs
+	b.breaker.ReportOutcome(failure)
 }
 
 // AddExternalExperience records a plan executed outside Bao's control
@@ -860,52 +1049,124 @@ func (b *Bao) record(e Experience, pred float64, allowEarly, fromQuery bool, tr 
 		return
 	}
 	retrainStart := time.Now()
-	b.Retrain()
+	if b.guardedRetrains() {
+		// With the guard configured, inline retrains route through
+		// RetrainAsync so the validation gate, fault hooks, and panic
+		// recovery apply on every path — Retrain's in-place fit would
+		// mutate the live model before any verdict could reject it.
+		b.RetrainAsync()
+	} else {
+		b.Retrain()
+	}
 	tr.AddSpan("retrain", retrainStart, time.Since(retrainStart), "")
 }
 
+// guardedRetrains reports whether retrains must run through the guarded
+// detached path (validation gate, breaker signals, fault injection).
+func (b *Bao) guardedRetrains() bool {
+	return b.Cfg.Validate.Enabled || b.Cfg.Breaker.Enabled || b.Cfg.Fault != nil
+}
+
 func (b *Bao) addExperienceLocked(e Experience) {
+	if !isFinite(e.Secs) {
+		// Admitted but never trained on (trainingSampleLocked skips it);
+		// counted once here rather than once per retrain it sat out.
+		b.observer.NonFiniteTargets.Inc()
+	}
 	b.exp = append(b.exp, e)
 	if over := len(b.exp) - b.Cfg.WindowSize; over > 0 {
 		b.exp = b.exp[over:]
 	}
 }
 
+// isFinite reports whether f is neither NaN nor infinite.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
 // trainingSampleLocked assembles one Thompson sampling draw's training
 // set and resets the retrain schedule: a bootstrap (sample with
 // replacement) of the experience window, the most recent experiences
 // verbatim (so a fresh catastrophic observation can never be dropped by
 // the resampling), and every flagged critical experience. It also
-// snapshots the critical registry for the enforcement loop. Returns nil
+// snapshots the critical registry for the enforcement loop.
+//
+// Experiences with non-finite latency targets are excluded — one NaN
+// target would zero the network's gradients and poison the whole fit —
+// and, when the validation gate is enabled, every cfg.HoldoutEvery-th
+// eligible experience is routed into the held-out validation slice
+// instead of the training pool (the newest recentKeep and censored
+// observations stay trainable: the former must never be dropped, the
+// latter are lower bounds that would bias a validation error).
+//
+// When the guard is off and every target is finite, the index pool is
+// the identity and the bootstrap consumes the seeded RNG exactly as it
+// always has, so existing deterministic runs are unchanged. Returns nil
 // trees when there is nothing to train on. Callers hold b.mu.
-func (b *Bao) trainingSampleLocked() (trees []*nn.Tree, secs []float64, crit map[string][]Experience) {
+func (b *Bao) trainingSampleLocked() (trees []*nn.Tree, secs []float64, valTrees []*nn.Tree, valSecs []float64, crit map[string][]Experience) {
 	b.sinceTrain = 0
 	if len(b.exp) == 0 && len(b.critical) == 0 {
-		return nil, nil, nil
+		return nil, nil, nil, nil, nil
 	}
-	trees = make([]*nn.Tree, 0, len(b.exp))
-	secs = make([]float64, 0, len(b.exp))
+	pool := make([]int, 0, len(b.exp))
+	for i, e := range b.exp {
+		if !isFinite(e.Secs) {
+			continue
+		}
+		pool = append(pool, i)
+	}
+	if v := b.Cfg.Validate; v.Enabled {
+		holdout := make(map[int]bool)
+		tail := len(b.exp) - recentKeep
+		if tail < 0 {
+			tail = 0
+		}
+		nth := 0
+		for _, i := range pool {
+			if i >= tail || b.exp[i].Censored {
+				continue
+			}
+			nth++
+			if nth%v.HoldoutEvery == 0 && len(holdout) < v.MaxHoldout {
+				holdout[i] = true
+				valTrees = append(valTrees, b.exp[i].Tree)
+				valSecs = append(valSecs, b.exp[i].Secs)
+			}
+		}
+		if len(holdout) > 0 {
+			kept := pool[:0]
+			for _, i := range pool {
+				if !holdout[i] {
+					kept = append(kept, i)
+				}
+			}
+			pool = kept
+		}
+	}
+	trees = make([]*nn.Tree, 0, len(pool))
+	secs = make([]float64, 0, len(pool))
 	// Bootstrap sample (the Thompson draw) ...
-	bootN := len(b.exp) - recentKeep
+	bootN := len(pool) - recentKeep
 	if bootN < 0 {
 		bootN = 0
 	}
 	for i := 0; i < bootN; i++ {
-		e := b.exp[b.rng.Intn(len(b.exp))]
+		e := b.exp[pool[b.rng.Intn(len(pool))]]
 		trees = append(trees, e.Tree)
 		secs = append(secs, e.Secs)
 	}
 	// ... plus the newest experiences verbatim.
-	tail := len(b.exp) - recentKeep
+	tail := len(pool) - recentKeep
 	if tail < 0 {
 		tail = 0
 	}
-	for _, e := range b.exp[tail:] {
-		trees = append(trees, e.Tree)
-		secs = append(secs, e.Secs)
+	for _, i := range pool[tail:] {
+		trees = append(trees, b.exp[i].Tree)
+		secs = append(secs, b.exp[i].Secs)
 	}
 	for _, exps := range b.critical {
 		for _, e := range exps {
+			if !isFinite(e.Secs) {
+				continue
+			}
 			trees = append(trees, e.Tree)
 			secs = append(secs, e.Secs)
 		}
@@ -914,7 +1175,7 @@ func (b *Bao) trainingSampleLocked() (trees []*nn.Tree, secs []float64, crit map
 	for k, v := range b.critical {
 		crit[k] = v
 	}
-	return trees, secs, crit
+	return trees, secs, valTrees, valSecs, crit
 }
 
 // finishRetrainLocked publishes a completed fit's bookkeeping. Callers
@@ -949,8 +1210,13 @@ func (b *Bao) finishRetrainLocked(m model.Model, samples, epochs int, wall float
 func (b *Bao) Retrain() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	trees, secs, crit := b.trainingSampleLocked()
-	if trees == nil {
+	trees, secs, valTrees, valSecs, crit := b.trainingSampleLocked()
+	// The inline path has no hot-swap to gate, so the holdout (if the
+	// validation config carved one out) folds back into the training set
+	// rather than going unused.
+	trees = append(trees, valTrees...)
+	secs = append(secs, valSecs...)
+	if len(trees) == 0 {
 		return
 	}
 	start := time.Now()
@@ -964,29 +1230,103 @@ func (b *Bao) Retrain() {
 // the fit runs with no lock held (concurrent Selects keep predicting with
 // the previous model), and the fitted model replaces Bao's under another
 // brief lock. This is the paper's Bao-server training loop: steering
-// stays on the hot path while learning stays off it. Returns false when
-// there was nothing to train on.
+// stays on the hot path while learning stays off it.
+//
+// The guard wraps the swap: a panic inside the fit is recovered into a
+// breaker model-failure signal (the incumbent keeps serving), and when
+// the validation gate is enabled the candidate must pass it — non-finite
+// predictions or a validation-error regression past the threshold reject
+// the candidate, count bao_retrain_rejected_total, and keep the
+// incumbent. Returns false when nothing was trained or the candidate was
+// rejected.
 func (b *Bao) RetrainAsync() bool {
+	o := b.observer
 	b.mu.Lock()
-	trees, secs, crit := b.trainingSampleLocked()
+	trees, secs, valTrees, valSecs, crit := b.trainingSampleLocked()
+	if len(trees) == 0 {
+		b.mu.Unlock()
+		return false
+	}
+	b.fitAttempts++
+	attempt := b.fitAttempts
 	// Offset the detached model's seed by the retrain ordinal so every
 	// draw starts from a fresh initialization, as the in-place Fit's
 	// internal seed bump would have provided.
 	seed := b.Cfg.Seed + int64(b.trainCount+1)*997
 	b.mu.Unlock()
-	if trees == nil {
+	fresh, epochs, wall, err := b.fitDetached(attempt, seed, trees, secs, crit)
+	if err != nil {
+		o.TrainerPanics.Inc()
+		b.breaker.ModelFailure("trainer-panic")
 		return false
 	}
-	fresh := b.newDetachedModel(seed)
-	start := time.Now()
-	epochs := fresh.Fit(trees, secs)
-	epochs += enforceCriticalOn(fresh, trees, secs, crit)
-	wall := time.Since(start).Seconds()
+	if verdict := b.validateCandidate(fresh, valTrees, valSecs, trees); !verdict.OK {
+		o.RetrainRejected.Inc()
+		b.breaker.ModelFailure("candidate-rejected: " + verdict.Reason)
+		return false
+	}
+	b.breaker.ModelAccepted()
 	b.mu.Lock()
 	b.Model = fresh
 	b.finishRetrainLocked(fresh, len(trees), epochs, wall)
 	b.mu.Unlock()
 	return true
+}
+
+// fitDetached fits a fresh candidate model off-lock, converting a panic
+// in the fit — real, or injected via Cfg.Fault — into an error: a
+// crashing trainer must degrade to "no new model this round", never take
+// the serving process down with it.
+func (b *Bao) fitDetached(attempt int, seed int64, trees []*nn.Tree, secs []float64, crit map[string][]Experience) (m model.Model, epochs int, wall float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, epochs, wall = nil, 0, 0
+			err = fmt.Errorf("core: retrain attempt %d panicked: %v", attempt, r)
+		}
+	}()
+	f := b.Cfg.Fault
+	if f != nil && f.SlowFit > 0 {
+		time.Sleep(f.SlowFit)
+	}
+	if f != nil && f.PanicOnFit == attempt {
+		panic("guard: injected fit failure")
+	}
+	fresh := b.newDetachedModel(seed)
+	start := time.Now()
+	epochs = fresh.Fit(trees, secs)
+	epochs += enforceCriticalOn(fresh, trees, secs, crit)
+	wall = time.Since(start).Seconds()
+	if f != nil && f.NaNOnFit == attempt {
+		fresh = guard.NaNModel{Model: fresh}
+	}
+	return fresh, epochs, wall, nil
+}
+
+// validateCandidate judges a fitted candidate before the hot-swap. With
+// the gate disabled every candidate passes (the pre-guard behavior);
+// enabled, the candidate is scored on the held-out slice against the
+// incumbent — or, when no holdout accumulated yet, probed on a handful
+// of training trees for prediction finiteness alone.
+func (b *Bao) validateCandidate(cand model.Model, valTrees []*nn.Tree, valSecs []float64, trainTrees []*nn.Tree) guard.Verdict {
+	if !b.Cfg.Validate.Enabled {
+		return guard.Verdict{OK: true, Reason: "validation-disabled"}
+	}
+	trees, secs := valTrees, valSecs
+	var incumbent guard.Predictor
+	if len(trees) == 0 {
+		probe := len(trainTrees)
+		if probe > 32 {
+			probe = 32
+		}
+		trees, secs = trainTrees[:probe], nil
+	} else {
+		b.mu.RLock()
+		if b.trained {
+			incumbent = b.Model
+		}
+		b.mu.RUnlock()
+	}
+	return guard.ValidateCandidate(cand, incumbent, trees, secs, b.Cfg.Validate)
 }
 
 // newDetachedModel builds a value model identical in kind to the one New
@@ -1253,6 +1593,10 @@ func (b *Bao) RunCtx(ctx context.Context, sql string) (*engine.Result, *Selectio
 
 // Observer returns the observability sink this Bao records into.
 func (b *Bao) Observer() *obs.Observer { return b.observer }
+
+// Breaker returns the default-plan circuit breaker, or nil when
+// Cfg.Breaker.Enabled is false (all guard methods are nil-safe).
+func (b *Bao) Breaker() *guard.Breaker { return b.breaker }
 
 // Stats snapshots every metric in this Bao's observer — the programmatic
 // equivalent of scraping its /metrics endpoint.

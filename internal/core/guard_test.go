@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bao/internal/guard"
+	"bao/internal/model"
+	"bao/internal/nn"
+	"bao/internal/obs"
+	"bao/internal/planner"
+)
+
+// guardTestConfig is the shared guard-enabled configuration: small arms,
+// fast fits, breaker and validation gate on, deterministic fault script
+// supplied by the caller.
+func guardTestConfig(workers int, fault *guard.Fault) Config {
+	cfg := FastConfig()
+	cfg.Arms = TopArms(3)
+	cfg.ArmWarmup = 0
+	cfg.RetrainEvery = 16
+	cfg.Train.MaxEpochs = 3
+	cfg.Train.Patience = 2
+	cfg.Workers = workers
+	cfg.Seed = 7
+	cfg.Breaker = guard.BreakerConfig{
+		Enabled:       true,
+		ModelFailures: 2,
+		// Keep serving-regret trips out of the scripted runs: the script
+		// drives the breaker through model failures alone.
+		RegretFailures: 1000,
+		RegretRatio:    1e6,
+		Cooldown:       6,
+		Probes:         2,
+	}
+	cfg.Validate = guard.ValidateConfig{Enabled: true}
+	cfg.Fault = fault
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	return cfg
+}
+
+// runGuardScript drives the deterministic fault script through the full
+// Run loop on a fresh engine: fit 1 trains normally, fit 2 panics, fit 3
+// produces a NaN model the validation gate rejects — the second
+// consecutive model failure trips the breaker, which then cools down on
+// served-default decisions, goes half-open, and closes on passing probes.
+func runGuardScript(t *testing.T, workers int) *Bao {
+	t.Helper()
+	e := buildIMDbEngine(t)
+	cfg := guardTestConfig(workers, &guard.Fault{PanicOnFit: 2, NaNOnFit: 3})
+	b := New(e, cfg)
+	queries := []string{
+		obsTestSQL,
+		"SELECT COUNT(*) FROM title t WHERE t.votes > 100",
+	}
+	for i := 0; i < 60; i++ {
+		if _, _, err := b.Run(queries[i%len(queries)]); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	return b
+}
+
+// TestGuardFaultScriptDeterministic is the acceptance test for the guard
+// subsystem: the injected fault script (bad fit → NaN model → trip →
+// cool-down → half-open probes → close) must produce byte-identical
+// breaker transitions and identical guard metrics at every worker count.
+// The breaker's clock is the decision counter, never wall time, so this
+// holds under -race and any scheduling.
+func TestGuardFaultScriptDeterministic(t *testing.T) {
+	b1 := runGuardScript(t, 1)
+	b4 := runGuardScript(t, 4)
+
+	tr1, tr4 := b1.Breaker().Transitions(), b4.Breaker().Transitions()
+	if !reflect.DeepEqual(tr1, tr4) {
+		t.Fatalf("breaker transitions differ across worker counts:\nworkers=1: %+v\nworkers=4: %+v", tr1, tr4)
+	}
+
+	// The script must have walked the full ladder: trip on the second
+	// model failure, cool down, half-open, close.
+	if len(tr1) < 3 {
+		t.Fatalf("transitions = %+v, want trip/half-open/close", tr1)
+	}
+	if tr1[0].From != guard.Closed || tr1[0].To != guard.Open {
+		t.Fatalf("first transition %+v, want Closed→Open", tr1[0])
+	}
+	if tr1[1].From != guard.Open || tr1[1].To != guard.HalfOpen || tr1[1].Reason != "cooldown-elapsed" {
+		t.Fatalf("second transition %+v, want Open→HalfOpen(cooldown-elapsed)", tr1[1])
+	}
+	if tr1[2].From != guard.HalfOpen || tr1[2].To != guard.Closed || tr1[2].Reason != "probes-passed" {
+		t.Fatalf("third transition %+v, want HalfOpen→Closed(probes-passed)", tr1[2])
+	}
+	// The cool-down denies exactly Cooldown decisions: half-open begins
+	// Cooldown+1 decisions after the trip.
+	if got := tr1[1].Decision - tr1[0].Decision; got != 7 {
+		t.Fatalf("half-open %d decisions after trip, want 7 (cooldown 6 + first probe)", got)
+	}
+	if b1.Breaker().State() != guard.Closed {
+		t.Fatalf("final state = %v, want Closed", b1.Breaker().State())
+	}
+
+	// Guard metrics must agree exactly across worker counts.
+	s1, s4 := b1.Stats(), b4.Stats()
+	for _, m := range []string{
+		"bao_trainer_panics_total",
+		"bao_retrain_rejected_total",
+		"bao_breaker_trips_total",
+		"bao_breaker_default_served_total",
+		"bao_nonfinite_predictions_total",
+		"bao_queries_total",
+		"bao_retrains_total",
+	} {
+		if v1, v4 := s1.Counter(m), s4.Counter(m); v1 != v4 {
+			t.Fatalf("%s differs across worker counts: %v vs %v", m, v1, v4)
+		}
+	}
+	if v1, v4 := s1.Gauge("bao_breaker_state"), s4.Gauge("bao_breaker_state"); v1 != v4 {
+		t.Fatalf("bao_breaker_state differs: %v vs %v", v1, v4)
+	}
+
+	// Script-shaped expectations: one panicked fit, one rejected NaN
+	// candidate, one trip, six default-served cool-down decisions.
+	if got := s1.Counter("bao_trainer_panics_total"); got != 1 {
+		t.Fatalf("bao_trainer_panics_total = %v, want 1", got)
+	}
+	if got := s1.Counter("bao_retrain_rejected_total"); got != 1 {
+		t.Fatalf("bao_retrain_rejected_total = %v, want 1", got)
+	}
+	if got := s1.Counter("bao_breaker_trips_total"); got != 1 {
+		t.Fatalf("bao_breaker_trips_total = %v, want 1", got)
+	}
+	if got := s1.Counter("bao_breaker_default_served_total"); got != 6 {
+		t.Fatalf("bao_breaker_default_served_total = %v, want 6 (the cool-down)", got)
+	}
+	if got := s1.Gauge("bao_breaker_state"); got != float64(guard.Closed) {
+		t.Fatalf("bao_breaker_state gauge = %v, want closed", got)
+	}
+	// The incumbent from fit 1 survived both failed candidates.
+	if !b1.Trained() || b1.TrainCount() < 1 {
+		t.Fatal("incumbent model lost during the fault script")
+	}
+}
+
+// TestBreakerOpenServesDefaultAndRecords: with the breaker open, Select
+// serves the default arm without the model — but the observation is still
+// admitted to the experience window, so learning continues through the
+// outage (the window is how the system earns its way back).
+func TestBreakerOpenServesDefaultAndRecords(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := guardTestConfig(1, nil)
+	cfg.RetrainEvery = 1000
+	o := cfg.Observer
+	o.EnableTracing(4)
+	b := New(e, cfg)
+
+	b.Breaker().Trip("forced")
+	before := b.ExperienceSize()
+	sel, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.ArmID != 0 || sel.UsedModel || sel.Preds != nil {
+		t.Fatalf("open-breaker selection: arm=%d usedModel=%v preds=%v, want default arm without model",
+			sel.ArmID, sel.UsedModel, sel.Preds)
+	}
+	if sel.Trees[0] == nil {
+		t.Fatal("default plan not featurized — the experience would be untrainable")
+	}
+	b.ObserveValue(sel, 0.05)
+	if got := b.ExperienceSize(); got != before+1 {
+		t.Fatalf("experience window = %d, want %d (must record through the outage)", got, before+1)
+	}
+	if got := b.Stats().Counter("bao_breaker_default_served_total"); got != 1 {
+		t.Fatalf("bao_breaker_default_served_total = %v, want 1", got)
+	}
+	traces := o.Traces()
+	if len(traces) == 0 || traces[0].Breaker != "breaker-open" {
+		t.Fatalf("trace breaker note missing: %+v", traces)
+	}
+}
+
+// TestPlannerPanicDegradesToDefault: a panicking non-default arm planner
+// must not fail the query — it degrades to the default plan and trips the
+// breaker, in both serial and parallel planning modes.
+func TestPlannerPanicDegradesToDefault(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		e := buildIMDbEngine(t)
+		cfg := guardTestConfig(4, &guard.Fault{PlanPanicArm: 1})
+		cfg.ParallelPlanning = parallel
+		b := New(e, cfg)
+
+		sel, err := b.Select(obsTestSQL)
+		if err != nil {
+			t.Fatalf("parallel=%v: planner panic failed the query: %v", parallel, err)
+		}
+		if sel.ArmID != 0 || sel.UsedModel {
+			t.Fatalf("parallel=%v: arm=%d usedModel=%v, want degraded default", parallel, sel.ArmID, sel.UsedModel)
+		}
+		if b.Breaker().State() != guard.Open {
+			t.Fatalf("parallel=%v: breaker = %v after planner panic, want Open", parallel, b.Breaker().State())
+		}
+		if got := b.Stats().Counter("bao_planner_panics_total"); got != 1 {
+			t.Fatalf("parallel=%v: bao_planner_panics_total = %v, want 1", parallel, got)
+		}
+		if got := b.Breaker().Trips(); got != 1 {
+			t.Fatalf("parallel=%v: trips = %d, want 1 (concurrent workers must coalesce)", parallel, got)
+		}
+	}
+}
+
+// TestNonFiniteTargetsSkipped: experiences with NaN/Inf latency targets
+// are admitted (and counted) but never trained on — one NaN target would
+// zero the gradients and poison the whole fit.
+func TestNonFiniteTargetsSkipped(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := FastConfig()
+	cfg.ArmWarmup = 0
+	cfg.Train.MaxEpochs = 3
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	b := New(e, cfg)
+
+	plan, err := e.PlanSQL(obsTestSQL, planner.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := b.Feat.Vectorize(plan)
+	var exps []Experience
+	for i := 0; i < 20; i++ {
+		exps = append(exps, Experience{Tree: tree, Secs: 0.01 * float64(i+1)})
+	}
+	exps = append(exps,
+		Experience{Tree: tree, Secs: math.NaN()},
+		Experience{Tree: tree, Secs: math.Inf(1)},
+		Experience{Tree: tree, Secs: math.Inf(-1)},
+	)
+	b.RestoreExperiences(exps)
+	if got := b.ExperienceSize(); got != 23 {
+		t.Fatalf("window = %d, want 23 (non-finite experiences are admitted)", got)
+	}
+	if got := b.Stats().Counter("bao_nonfinite_targets_total"); got != 3 {
+		t.Fatalf("bao_nonfinite_targets_total = %v, want 3", got)
+	}
+	b.Retrain()
+	if !b.Trained() {
+		t.Fatal("retrain with finite majority did not train")
+	}
+	if ev := b.TrainEvents[0]; ev.Samples != 20 {
+		t.Fatalf("trained on %d samples, want 20 (non-finite targets excluded)", ev.Samples)
+	}
+
+	// An all-non-finite window has nothing to train on: the retrain is a
+	// no-op, not a poisoned model.
+	b2 := New(buildIMDbEngine(t), cfg)
+	bad := make([]Experience, 16)
+	for i := range bad {
+		bad[i] = Experience{Tree: tree, Secs: math.NaN()}
+	}
+	b2.RestoreExperiences(bad)
+	b2.Retrain()
+	if b2.Trained() {
+		t.Fatal("retrained on an all-non-finite window")
+	}
+}
+
+// TestDegeneratePredictionsTripBreaker: with validation off, a NaN model
+// can hot-swap in — the serving-time backstop must then catch it on the
+// very next selection: clamp the predictions, trip the breaker, and serve
+// the default arm instead of feeding NaN to the argmin.
+func TestDegeneratePredictionsTripBreaker(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := guardTestConfig(1, &guard.Fault{NaNOnFit: 1})
+	cfg.Validate = guard.ValidateConfig{} // gate off: nothing stops the NaN swap
+	cfg.RetrainEvery = 1000
+	b := New(e, cfg)
+
+	sel, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b.ObserveValue(sel, 0.01)
+	}
+	if !b.RetrainAsync() {
+		t.Fatal("unvalidated NaN candidate should have swapped in")
+	}
+	if !b.Trained() {
+		t.Fatal("not trained after swap")
+	}
+
+	sel2, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.ArmID != 0 || sel2.UsedModel || sel2.Preds != nil {
+		t.Fatalf("degenerate-model selection: arm=%d usedModel=%v preds=%v, want default arm", sel2.ArmID, sel2.UsedModel, sel2.Preds)
+	}
+	if b.Breaker().State() != guard.Open {
+		t.Fatalf("breaker = %v after all-NaN predictions, want Open", b.Breaker().State())
+	}
+	if got := b.Stats().Counter("bao_nonfinite_predictions_total"); got < 1 {
+		t.Fatalf("bao_nonfinite_predictions_total = %v, want >= 1", got)
+	}
+	tr := b.Breaker().Transitions()
+	if len(tr) != 1 || tr[0].Reason != "degenerate-predictions" {
+		t.Fatalf("transitions = %+v, want one degenerate-predictions trip", tr)
+	}
+
+	// The next decision is inside the cool-down: default served without
+	// touching the degenerate model.
+	sel3, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel3.ArmID != 0 || sel3.UsedModel {
+		t.Fatalf("cool-down selection: arm=%d usedModel=%v, want default", sel3.ArmID, sel3.UsedModel)
+	}
+}
+
+// TestSingleNaNPredictionClamped: one degenerate arm among healthy ones
+// must lose the argmin (clamped to +max), not poison it — and the breaker
+// stays closed because the model still has finite signal.
+func TestSingleNaNPredictionClamped(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := guardTestConfig(1, nil)
+	cfg.RetrainEvery = 1000
+	cfg.NoPlanDedup = true // keep per-arm predictions distinct slots
+	nan := &nanArmModel{badIdx: 1}
+	cfg.NewModel = func() model.Model { return nan }
+	b := New(e, cfg)
+
+	sel, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b.ObserveValue(sel, 0.01)
+	}
+	b.Retrain()
+	sel2, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel2.UsedModel {
+		t.Fatal("model not used")
+	}
+	if sel2.ArmID == 1 {
+		t.Fatal("argmin picked the NaN-predicted arm")
+	}
+	if sel2.Preds[1] != math.MaxFloat64 {
+		t.Fatalf("NaN prediction = %v, want clamped to MaxFloat64", sel2.Preds[1])
+	}
+	if b.Breaker().State() != guard.Closed {
+		t.Fatalf("breaker = %v, want Closed (finite predictions remain)", b.Breaker().State())
+	}
+	if got := b.Stats().Counter("bao_nonfinite_predictions_total"); got != 1 {
+		t.Fatalf("bao_nonfinite_predictions_total = %v, want 1", got)
+	}
+}
+
+// nanArmModel predicts NaN for exactly one tree index and a finite value
+// elsewhere.
+type nanArmModel struct{ badIdx int }
+
+func (m *nanArmModel) Name() string { return "nan-arm" }
+
+func (m *nanArmModel) Fit(trees []*nn.Tree, secs []float64) int { return 1 }
+
+func (m *nanArmModel) Predict(trees []*nn.Tree) []float64 {
+	out := make([]float64, len(trees))
+	for i := range out {
+		if i == m.badIdx {
+			out[i] = math.NaN()
+		} else {
+			out[i] = 0.01 * float64(i+1)
+		}
+	}
+	return out
+}
+
+// TestValidationRejectsNaNCandidateKeepsIncumbent: with the gate on, a
+// NaN candidate is rejected before the swap — the incumbent (or the
+// untrained cold-start state) keeps serving and the rejection is counted.
+func TestValidationRejectsNaNCandidateKeepsIncumbent(t *testing.T) {
+	e := buildIMDbEngine(t)
+	cfg := guardTestConfig(1, &guard.Fault{NaNOnFit: 1})
+	cfg.RetrainEvery = 1000
+	b := New(e, cfg)
+
+	sel, err := b.Select(obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b.ObserveValue(sel, 0.01)
+	}
+	if b.RetrainAsync() {
+		t.Fatal("NaN candidate passed the validation gate")
+	}
+	if b.Trained() || b.TrainCount() != 0 {
+		t.Fatalf("rejected candidate mutated state: trained=%v trainCount=%d", b.Trained(), b.TrainCount())
+	}
+	if got := b.Stats().Counter("bao_retrain_rejected_total"); got != 1 {
+		t.Fatalf("bao_retrain_rejected_total = %v, want 1", got)
+	}
+	// The next (unfaulted) attempt trains normally.
+	if !b.RetrainAsync() {
+		t.Fatal("healthy candidate rejected")
+	}
+	if !b.Trained() || b.TrainCount() != 1 {
+		t.Fatalf("post-rejection retrain: trained=%v trainCount=%d", b.Trained(), b.TrainCount())
+	}
+}

@@ -1,0 +1,255 @@
+package guard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checkpoint frame layout: a fixed header followed by the model payload.
+//
+//	magic   8 bytes  "BAOCKP1\n"
+//	gen     8 bytes  generation number, little-endian
+//	length  8 bytes  payload length, little-endian
+//	crc     4 bytes  CRC-32 (IEEE) of the payload, little-endian
+//	payload
+//
+// Files are named model-<generation>.ckpt with a zero-padded decimal
+// generation so lexical order is generation order. Saves go through a
+// temp file + fsync + atomic rename, so a checkpoint either exists whole
+// or not at all; the CRC catches the remaining failure mode (bit rot,
+// partial writes surviving a rename on non-atomic filesystems).
+const (
+	ckptMagic     = "BAOCKP1\n"
+	ckptHeaderLen = 8 + 8 + 8 + 4
+	ckptPrefix    = "model-"
+	ckptSuffix    = ".ckpt"
+	// maxCkptLen bounds a frame's declared payload so a corrupt length
+	// field cannot drive a giant allocation.
+	maxCkptLen = 256 << 20
+)
+
+// CheckpointStore persists model snapshots as versioned, checksummed
+// generations in one directory, keeping the newest K and rolling back
+// past corrupt or unreadable generations on restore. Generations are
+// monotone across restarts even when the newest files are corrupt: the
+// counter resumes from the highest generation *named* in the directory,
+// not the highest that loads.
+type CheckpointStore struct {
+	dir  string
+	keep int
+
+	mu  sync.Mutex
+	gen uint64 // highest generation ever seen or written
+}
+
+// OpenCheckpointStore opens (creating if absent) a checkpoint directory,
+// removing temp-file leftovers of interrupted saves and resuming the
+// generation counter from the files present. keep < 1 keeps one.
+func OpenCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("guard: checkpoint dir: %w", err)
+	}
+	s := &CheckpointStore{dir: dir, keep: keep}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("guard: checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between temp-file write and rename left this behind;
+			// it was never a checkpoint.
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // best effort
+			continue
+		}
+		if g, ok := parseCkptName(name); ok && g > s.gen {
+			s.gen = g
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// Generation returns the highest generation seen or written so far.
+func (s *CheckpointStore) Generation() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Generations lists the generations currently on disk, ascending.
+func (s *CheckpointStore) Generations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if g, ok := parseCkptName(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save writes one new generation: write serializes the model payload,
+// which lands on disk under the next generation number via temp file +
+// fsync + atomic rename, then generations beyond the keep limit are
+// pruned. Returns the generation written.
+func (s *CheckpointStore) Save(write func(w io.Writer) error) (uint64, error) {
+	var payload bytes.Buffer
+	if err := write(&payload); err != nil {
+		return 0, fmt.Errorf("guard: checkpoint serialize: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.gen + 1
+
+	var hdr [ckptHeaderLen]byte
+	copy(hdr[:8], ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload.Bytes()))
+
+	tmp, err := os.CreateTemp(s.dir, "ckpt-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) } //nolint:errcheck // best effort
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+		if err == nil {
+			err = tmp.Sync()
+		}
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cleanup()
+		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
+	}
+	final := filepath.Join(s.dir, ckptName(gen))
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
+	}
+	syncDir(s.dir)
+	s.gen = gen
+	s.pruneLocked()
+	return gen, nil
+}
+
+// Restore loads the newest generation that passes integrity checks AND
+// that apply accepts, rolling back past corrupt, truncated, or rejected
+// generations. Returns the generation restored (0 when none), how many
+// newer generations were rolled back past, and an error only for
+// directory-level failures — individual bad frames are rollback, not
+// failure.
+func (s *CheckpointStore) Restore(apply func(r io.Reader) error) (gen uint64, rolledBack int, err error) {
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, 0, fmt.Errorf("guard: checkpoint restore: %w", err)
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		payload, ferr := s.readFrame(g)
+		if ferr == nil {
+			ferr = apply(bytes.NewReader(payload))
+		}
+		if ferr == nil {
+			return g, rolledBack, nil
+		}
+		rolledBack++
+	}
+	return 0, rolledBack, nil
+}
+
+// readFrame reads and integrity-checks one generation's frame, returning
+// its payload.
+func (s *CheckpointStore) readFrame(gen uint64) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, ckptName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < ckptHeaderLen {
+		return nil, fmt.Errorf("guard: checkpoint %d: truncated header", gen)
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("guard: checkpoint %d: bad magic", gen)
+	}
+	if g := binary.LittleEndian.Uint64(data[8:16]); g != gen {
+		return nil, fmt.Errorf("guard: checkpoint %d: header names generation %d", gen, g)
+	}
+	n := binary.LittleEndian.Uint64(data[16:24])
+	if n > maxCkptLen || int(n) != len(data)-ckptHeaderLen {
+		return nil, fmt.Errorf("guard: checkpoint %d: truncated payload", gen)
+	}
+	payload := data[ckptHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[24:28]) {
+		return nil, fmt.Errorf("guard: checkpoint %d: checksum mismatch", gen)
+	}
+	return payload, nil
+}
+
+// pruneLocked removes generations beyond the keep limit, oldest first.
+// Best effort: a prune failure never fails the save that triggered it.
+// Callers hold s.mu.
+func (s *CheckpointStore) pruneLocked() {
+	gens, err := s.Generations()
+	if err != nil || len(gens) <= s.keep {
+		return
+	}
+	for _, g := range gens[:len(gens)-s.keep] {
+		os.Remove(filepath.Join(s.dir, ckptName(g))) //nolint:errcheck // best effort
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best effort: not every platform or filesystem supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best effort
+	d.Close()
+}
+
+// ckptName renders a generation's filename (zero-padded so lexical order
+// is generation order).
+func ckptName(gen uint64) string {
+	return fmt.Sprintf("%s%016d%s", ckptPrefix, gen, ckptSuffix)
+}
+
+// parseCkptName extracts the generation from a checkpoint filename.
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}

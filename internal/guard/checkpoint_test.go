@@ -1,0 +1,263 @@
+package guard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writePayload(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func readPayload(dst *string) func(io.Reader) error {
+	return func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		*dst = string(b)
+		return err
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	st, err := OpenCheckpointStore(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := st.Save(writePayload("model-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first save generation = %d, want 1", gen)
+	}
+	var got string
+	rgen, rolledBack, err := st.Restore(readPayload(&got))
+	if err != nil || rgen != 1 || rolledBack != 0 || got != "model-one" {
+		t.Fatalf("restore = (%d, %d, %v) payload %q", rgen, rolledBack, err, got)
+	}
+}
+
+func TestCheckpointRestoreEmpty(t *testing.T) {
+	st, err := OpenCheckpointStore(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, rolledBack, err := st.Restore(func(io.Reader) error { t.Fatal("apply called with no checkpoints"); return nil })
+	if err != nil || gen != 0 || rolledBack != 0 {
+		t.Fatalf("empty restore = (%d, %d, %v), want (0, 0, nil)", gen, rolledBack, err)
+	}
+}
+
+func TestCheckpointPrune(t *testing.T) {
+	st, err := OpenCheckpointStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := st.Save(writePayload(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 3 || gens[2] != 5 {
+		t.Fatalf("generations after prune = %v, want [3 4 5]", gens)
+	}
+}
+
+// TestCheckpointRollback corrupts the newest frames in the ways a crash
+// or bit rot produces — flipped payload byte, truncated file, garbage
+// header — and verifies Restore rolls back to the newest intact
+// generation.
+func TestCheckpointRollback(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCheckpointStore(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := st.Save(writePayload(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// gen 4: flip a payload byte → CRC mismatch.
+	p4 := filepath.Join(dir, ckptName(4))
+	data, err := os.ReadFile(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p4, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// gen 3: truncate mid-payload.
+	p3 := filepath.Join(dir, ckptName(3))
+	data, err = os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p3, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got string
+	gen, rolledBack, err := st.Restore(readPayload(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || rolledBack != 2 || got != "gen-2" {
+		t.Fatalf("restore = (%d, %d, %q), want (2, 2, gen-2)", gen, rolledBack, got)
+	}
+}
+
+// TestCheckpointRollbackOnApplyError: a frame that passes integrity
+// checks but that apply rejects (e.g. the model loader refusing
+// non-finite weights) is rolled back past like a corrupt one.
+func TestCheckpointRollbackOnApplyError(t *testing.T) {
+	st, err := OpenCheckpointStore(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := st.Save(writePayload(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got string
+	gen, rolledBack, err := st.Restore(func(r io.Reader) error {
+		b, _ := io.ReadAll(r)
+		if string(b) == "gen-3" {
+			return fmt.Errorf("loader rejects this model")
+		}
+		got = string(b)
+		return nil
+	})
+	if err != nil || gen != 2 || rolledBack != 1 || got != "gen-2" {
+		t.Fatalf("restore = (%d, %d, %v, %q), want (2, 1, nil, gen-2)", gen, rolledBack, err, got)
+	}
+}
+
+// TestCheckpointMonotoneGenerations: the generation counter resumes from
+// the highest *named* file even when that file is corrupt, so a rollback
+// never reuses (and silently shadows) a bad generation's number.
+func TestCheckpointMonotoneGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCheckpointStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := st.Save(writePayload(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt gen 2 wholesale.
+	if err := os.WriteFile(filepath.Join(dir, ckptName(2)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (a restart): the counter must resume at 2, not 1.
+	st2, err := OpenCheckpointStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Generation() != 2 {
+		t.Fatalf("reopened generation = %d, want 2", st2.Generation())
+	}
+	var got string
+	gen, rolledBack, err := st2.Restore(readPayload(&got))
+	if err != nil || gen != 1 || rolledBack != 1 || got != "gen-1" {
+		t.Fatalf("restore = (%d, %d, %v, %q), want (1, 1, nil, gen-1)", gen, rolledBack, err, got)
+	}
+	next, err := st2.Save(writePayload("gen-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 3 {
+		t.Fatalf("save after rollback wrote generation %d, want 3", next)
+	}
+}
+
+// TestCheckpointTempLeftoversRemoved: a crash between temp-file write and
+// rename leaves a .tmp file; reopening sweeps it and it never counts as a
+// checkpoint.
+func TestCheckpointTempLeftoversRemoved(t *testing.T) {
+	dir := t.TempDir()
+	torn := filepath.Join(dir, "ckpt-123.tmp")
+	if err := os.WriteFile(torn, []byte("half a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenCheckpointStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("temp leftover not removed on open")
+	}
+	if st.Generation() != 0 {
+		t.Fatalf("generation = %d, want 0 (tmp files are not checkpoints)", st.Generation())
+	}
+}
+
+// TestCheckpointForeignFilesIgnored: unrelated files in the directory are
+// neither parsed as generations nor pruned.
+func TestCheckpointForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenCheckpointStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Save(writePayload("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file disturbed: %v", err)
+	}
+	gens, _ := st.Generations()
+	if len(gens) != 1 || gens[0] != 3 {
+		t.Fatalf("generations = %v, want [3]", gens)
+	}
+}
+
+// TestCheckpointHeaderGenMismatch: a frame whose header names a
+// different generation than its filename (a copied/renamed file) fails
+// integrity and is rolled back past.
+func TestCheckpointHeaderGenMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCheckpointStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := st.Save(writePayload(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Copy gen 1's frame over gen 2's name: header says 1, name says 2.
+	data, err := os.ReadFile(filepath.Join(dir, ckptName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ckptName(2)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	gen, rolledBack, err := st.Restore(readPayload(&got))
+	if err != nil || gen != 1 || rolledBack != 1 || got != "gen-1" {
+		t.Fatalf("restore = (%d, %d, %v, %q), want (1, 1, nil, gen-1)", gen, rolledBack, err, got)
+	}
+}

@@ -1,0 +1,55 @@
+package guard
+
+import (
+	"math"
+	"time"
+
+	"bao/internal/model"
+	"bao/internal/nn"
+)
+
+// Fault injects deterministic failures into the training and planning
+// paths, extending the executor's page-ordinal fault style to the guard
+// subsystem: triggers are work-indexed (fit-attempt ordinals, arm
+// indices), never wall-clock, so an injected fault script produces
+// byte-identical breaker transitions and metrics at any worker count and
+// under -race. Production configs leave this nil.
+type Fault struct {
+	// PanicOnFit panics inside the detached fit whose 1-based attempt
+	// ordinal matches — a trainer crash, recovered into a breaker
+	// model-failure signal.
+	PanicOnFit int
+	// NaNOnFit wraps the candidate fitted on the matching 1-based attempt
+	// so every prediction is NaN — a numerically exploded fit, which the
+	// validation gate must reject (or, unvalidated, the breaker must
+	// catch as degenerate predictions at selection time).
+	NaNOnFit int
+	// SlowFit stalls every detached fit by this duration — for exercising
+	// the serving layer's no-stall-during-retrain property, not for
+	// determinism-sensitive scripts.
+	SlowFit time.Duration
+	// PlanPanicArm panics while planning the arm with this index (> 0;
+	// the default arm 0 is never injected, it is the fallback the
+	// degraded query needs).
+	PlanPanicArm int
+}
+
+// NaNModel wraps a value model and degenerates every prediction to NaN —
+// the observable shape of a fit whose weights exploded. Fault injection
+// swaps it in for a just-fitted candidate so validation and breaker
+// paths can be pinned deterministically.
+type NaNModel struct {
+	model.Model
+}
+
+// Name implements model.Model.
+func (NaNModel) Name() string { return "NaN-injected" }
+
+// Predict implements model.Model: NaN for every tree.
+func (NaNModel) Predict(trees []*nn.Tree) []float64 {
+	out := make([]float64, len(trees))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}

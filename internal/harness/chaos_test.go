@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bao/internal/guard"
+)
+
+// TestChaosExperiment runs the fault-script determinism experiment on a
+// stream long enough for the full arc — trip, cool-down, half-open,
+// close — and checks both the cross-worker identity assertion and the
+// printed evidence of each stage.
+func TestChaosExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.Queries = 120
+	s := NewSession(opts)
+	if err := s.Chaos(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"identical across worker counts",
+		"candidate-rejected", // the NaN model the gate refused
+		"cooldown-elapsed",   // open → half-open
+		"probes-passed",      // half-open → closed
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosRunGuardArc checks the underlying run end-state directly: the
+// script's one trip happened, exactly Cooldown decisions were served by
+// the default arm, and the breaker closed again with the incumbent model
+// still serving.
+func TestChaosRunGuardArc(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.Queries = 120
+	s := NewSession(opts)
+	r, err := s.chaosRun(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := r.Bao.Breaker()
+	if br.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", br.Trips())
+	}
+	if br.State() != guard.Closed {
+		t.Fatalf("final state = %v, want Closed", br.State())
+	}
+	snap := r.Bao.Stats()
+	if got := snap.Counter("bao_breaker_default_served_total"); got != 8 {
+		t.Fatalf("default served = %v, want 8 (the configured cool-down)", got)
+	}
+	if got := snap.Counter("bao_trainer_panics_total"); got != 1 {
+		t.Fatalf("trainer panics = %v, want 1", got)
+	}
+	if got := snap.Counter("bao_retrain_rejected_total"); got != 1 {
+		t.Fatalf("rejected candidates = %v, want 1", got)
+	}
+	if !r.Bao.Trained() {
+		t.Fatal("incumbent model lost during the fault script")
+	}
+	// The default-served decisions still became experiences: the window
+	// must hold one experience per query.
+	if got := r.Bao.ExperienceSize(); got != opts.Queries {
+		t.Fatalf("window = %d, want %d (outage queries must still record)", got, opts.Queries)
+	}
+}

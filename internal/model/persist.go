@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"bao/internal/nn"
 )
@@ -33,19 +34,18 @@ func (m *TCNNModel) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(st)
 }
 
-// Load restores a model saved with Save.
+// Load restores a model saved with Save. The snapshot is decoded, built,
+// and validated fully detached — shape compatibility, finite weights,
+// finite normalization — before anything on m changes, so a truncated or
+// corrupt snapshot (a crash mid-save, bit rot) returns an error and
+// leaves the live model exactly as it was, never half-applied.
 func (m *TCNNModel) Load(r io.Reader) error {
 	var st tcnnState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("model: load: %w", err)
 	}
-	m.cfg = st.Cfg
-	m.repMu.Lock()
-	m.net = nn.NewTCNN(st.Cfg)
-	m.replicas = nil // inference replicas alias the replaced network
-	m.repMu.Unlock()
-	// Validate shape compatibility before restoring.
-	params := m.net.Params()
+	net := nn.NewTCNN(st.Cfg)
+	params := net.Params()
 	if len(params) != len(st.Weights) {
 		return fmt.Errorf("model: load: %d parameter tensors, expected %d", len(st.Weights), len(params))
 	}
@@ -54,8 +54,26 @@ func (m *TCNNModel) Load(r io.Reader) error {
 			return fmt.Errorf("model: load: parameter %s has %d weights, expected %d",
 				p.Name, len(st.Weights[i]), p.Size())
 		}
+		for _, w := range st.Weights[i] {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("model: load: parameter %s has non-finite weights", p.Name)
+			}
+		}
 	}
-	m.net.Restore(st.Weights)
+	for _, v := range [...]float64{st.Mean, st.Std, st.YMin, st.YMax} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: load: non-finite target normalization")
+		}
+	}
+	if st.Std <= 0 {
+		return fmt.Errorf("model: load: non-positive target std %g", st.Std)
+	}
+	net.Restore(st.Weights)
+	m.repMu.Lock()
+	m.net = net
+	m.replicas = nil // inference replicas alias the replaced network
+	m.repMu.Unlock()
+	m.cfg = st.Cfg
 	m.mean, m.std = st.Mean, st.Std
 	m.yMin, m.yMax = st.YMin, st.YMax
 	m.fit = true

@@ -66,6 +66,23 @@ type Observer struct {
 	LogSkipped       *Counter   // bao_server_explog_skipped_total
 	ServeAbandoned   *Counter   // bao_server_abandoned_total
 
+	// Guard subsystem (internal/guard): validation-gated hot-swap,
+	// versioned checkpoints with rollback, and the default-plan circuit
+	// breaker — the degradation ladder keeping Bao never far worse than
+	// the underlying optimizer.
+	RetrainRejected     *Counter // bao_retrain_rejected_total
+	BreakerState        *Gauge   // bao_breaker_state (0 closed, 1 open, 2 half-open)
+	BreakerTrips        *Counter // bao_breaker_trips_total
+	BreakerDefault      *Counter // bao_breaker_default_served_total
+	ModelGeneration     *Gauge   // bao_model_generation
+	CheckpointsSaved    *Counter // bao_checkpoints_saved_total
+	CheckpointRollbacks *Counter // bao_checkpoint_rollbacks_total
+	CheckpointErrors    *Counter // bao_checkpoint_save_errors_total
+	NonFiniteTargets    *Counter // bao_nonfinite_targets_total
+	NonFinitePreds      *Counter // bao_nonfinite_predictions_total
+	TrainerPanics       *Counter // bao_trainer_panics_total
+	PlannerPanics       *Counter // bao_planner_panics_total
+
 	// Execution work counters (from executor.Counters) and buffer pool.
 	ExecCPUOps     *Counter    // bao_exec_cpu_ops_total
 	ExecPageHits   *Counter    // bao_exec_page_hits_total
@@ -127,6 +144,19 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		LogReplayed:      reg.Counter("bao_server_explog_replayed_total", "Records replayed from the experience log at startup."),
 		LogSkipped:       reg.Counter("bao_server_explog_skipped_total", "Corrupt or truncated experience-log records skipped during replay."),
 		ServeAbandoned:   reg.Counter("bao_server_abandoned_total", "Requests abandoned mid-flight (timed out at the HTTP layer or client disconnected) that recorded no experience."),
+
+		RetrainRejected:     reg.Counter("bao_retrain_rejected_total", "Candidate models rejected by the validation gate (the incumbent kept serving)."),
+		BreakerState:        reg.Gauge("bao_breaker_state", "Default-plan circuit breaker state: 0 closed, 1 open, 2 half-open."),
+		BreakerTrips:        reg.Counter("bao_breaker_trips_total", "Circuit breaker trips (transitions to open)."),
+		BreakerDefault:      reg.Counter("bao_breaker_default_served_total", "Decisions the guard served with the default arm (breaker open, planner panic, or degenerate predictions)."),
+		ModelGeneration:     reg.Gauge("bao_model_generation", "Generation number of the newest model checkpoint saved or restored."),
+		CheckpointsSaved:    reg.Counter("bao_checkpoints_saved_total", "Model checkpoint generations written."),
+		CheckpointRollbacks: reg.Counter("bao_checkpoint_rollbacks_total", "Corrupt or unloadable checkpoint generations rolled back past at startup."),
+		CheckpointErrors:    reg.Counter("bao_checkpoint_save_errors_total", "Failed model checkpoint saves."),
+		NonFiniteTargets:    reg.Counter("bao_nonfinite_targets_total", "Experiences admitted with non-finite latency targets; excluded from every training sample."),
+		NonFinitePreds:      reg.Counter("bao_nonfinite_predictions_total", "Non-finite model predictions clamped during arm selection."),
+		TrainerPanics:       reg.Counter("bao_trainer_panics_total", "Panics recovered in the detached model fit (the incumbent kept serving)."),
+		PlannerPanics:       reg.Counter("bao_planner_panics_total", "Panics recovered in per-arm planning (the query degraded to the default plan)."),
 
 		ExecCPUOps:     reg.Counter("bao_exec_cpu_ops_total", "Executor CPU work units charged."),
 		ExecPageHits:   reg.Counter("bao_exec_page_hits_total", "Buffer-pool page hits charged by the executor."),

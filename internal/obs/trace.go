@@ -40,7 +40,10 @@ type Trace struct {
 	// budget because the execution was cancelled at its deadline.
 	DeadlineSecs float64 `json:"deadline_secs,omitempty"`
 	Censored     bool    `json:"censored,omitempty"`
-	Spans        []Span  `json:"spans"`
+	// Breaker notes a decision the guard degraded to the default arm and
+	// why ("breaker-open", "planner-panic", "degenerate-predictions").
+	Breaker string `json:"breaker,omitempty"`
+	Spans   []Span `json:"spans"`
 
 	start time.Time // monotonic anchor for span offsets
 }

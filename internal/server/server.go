@@ -8,12 +8,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"bao/internal/cloud"
 	"bao/internal/core"
 	"bao/internal/executor"
+	"bao/internal/guard"
 	"bao/internal/obs"
 )
 
@@ -48,6 +50,15 @@ type Config struct {
 	// ModelPath, when set, loads the value model from there on startup
 	// (if the file exists) and saves the current model there on shutdown.
 	ModelPath string
+	// CheckpointDir, when set, persists every accepted model as a
+	// versioned, CRC-checksummed checkpoint generation there (temp file +
+	// fsync + atomic rename) and on startup restores the newest valid
+	// generation, rolling back past corrupt or unloadable ones. A restored
+	// generation takes precedence over ModelPath.
+	CheckpointDir string
+	// CheckpointKeep is how many checkpoint generations to retain. Zero
+	// means 5.
+	CheckpointKeep int
 	// TrainDelay artificially stretches each background retrain (test
 	// hook for asserting the fast path is independent of training).
 	TrainDelay time.Duration
@@ -60,10 +71,11 @@ type Config struct {
 // executor counters and buffer pool mutate per execution); training runs
 // on a single background goroutine and hot-swaps fitted models in.
 type Server struct {
-	bao *core.Bao
-	cfg Config
-	o   *obs.Observer
-	log *ExperienceLog
+	bao  *core.Bao
+	cfg  Config
+	o    *obs.Observer
+	log  *ExperienceLog
+	ckpt *guard.CheckpointStore // versioned model checkpoints; nil unless configured
 
 	// execMu is the single execution lane: the embedded engine computes
 	// per-query work as deltas of shared cumulative counters, so
@@ -100,6 +112,9 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 	if cfg.PendingLimit <= 0 {
 		cfg.PendingLimit = 1024
 	}
+	if cfg.CheckpointKeep <= 0 {
+		cfg.CheckpointKeep = 5
+	}
 	s := &Server{
 		bao:         b,
 		cfg:         cfg,
@@ -133,9 +148,52 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if cfg.CheckpointDir != "" {
+		st, err := guard.OpenCheckpointStore(cfg.CheckpointDir, cfg.CheckpointKeep)
+		if err != nil {
+			s.closeLog()
+			return nil, fmt.Errorf("baoserver: %w", err)
+		}
+		s.ckpt = st
+		// Restore the newest generation that both passes its checksum and
+		// loads cleanly (LoadModel validates shapes and weight finiteness
+		// before touching the live model), rolling back past any that
+		// don't — a crash mid-save or bit rot costs one generation, not
+		// the model.
+		gen, rolledBack, err := st.Restore(b.LoadModel)
+		if err != nil {
+			s.closeLog()
+			return nil, fmt.Errorf("baoserver: %w", err)
+		}
+		if rolledBack > 0 {
+			s.o.CheckpointRollbacks.Add(float64(rolledBack))
+		}
+		if gen > 0 {
+			s.o.ModelGeneration.Set(float64(gen))
+		}
+	}
 	b.SetRetrainHook(s.signalRetrain)
 	go s.trainer()
 	return s, nil
+}
+
+// Checkpoints returns the checkpoint store, or nil when not configured.
+func (s *Server) Checkpoints() *guard.CheckpointStore { return s.ckpt }
+
+// saveCheckpoint persists the current model as a new checkpoint
+// generation. Failures are counted, not fatal: the in-memory model keeps
+// serving and the next accepted retrain tries again.
+func (s *Server) saveCheckpoint() {
+	if s.ckpt == nil || !s.bao.Trained() {
+		return
+	}
+	gen, err := s.ckpt.Save(s.bao.SaveModel)
+	if err != nil {
+		s.o.CheckpointErrors.Inc()
+		return
+	}
+	s.o.CheckpointsSaved.Inc()
+	s.o.ModelGeneration.Set(float64(gen))
 }
 
 // Bao returns the wrapped optimizer (status inspection; do not drive its
@@ -237,16 +295,33 @@ func (s *Server) closeLog() error {
 	return s.log.Close()
 }
 
+// saveModelFile persists the model to ModelPath atomically: serialize to
+// a temp file in the destination directory, fsync, then rename over the
+// target. A crash at any point leaves either the old complete file or the
+// new complete file — never a truncated one for the next startup's
+// LoadModel to choke on.
 func (s *Server) saveModelFile() error {
-	f, err := os.Create(s.cfg.ModelPath)
+	dir := filepath.Dir(s.cfg.ModelPath)
+	f, err := os.CreateTemp(dir, ".model-*.tmp")
 	if err != nil {
 		return err
 	}
-	if err := s.bao.SaveModel(f); err != nil {
-		f.Close()
+	tmp := f.Name()
+	err = s.bao.SaveModel(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.cfg.ModelPath)
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck // best effort
 		return err
 	}
-	return f.Close()
+	return nil
 }
 
 // admitted wraps a handler with admission control: a bounded in-flight
@@ -537,6 +612,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// An uploaded model is an accepted model: checkpoint it so a
+		// restart resumes from it, not from the last retrain.
+		s.saveCheckpoint()
 		writeJSON(w, map[string]any{"loaded": true, "train_count": s.bao.TrainCount()})
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -590,6 +668,14 @@ type statusResponse struct {
 	InFlight    int      `json:"inflight"`
 	LogReplayed int      `json:"log_replayed,omitempty"`
 	LogSkipped  int      `json:"log_skipped,omitempty"`
+	// Guard state: the breaker's position and trip count (present when
+	// the breaker is configured), the newest model checkpoint generation,
+	// and the rejection/rollback counters.
+	BreakerState        string `json:"breaker_state,omitempty"`
+	BreakerTrips        uint64 `json:"breaker_trips,omitempty"`
+	ModelGeneration     uint64 `json:"model_generation,omitempty"`
+	RetrainRejected     int    `json:"retrain_rejected,omitempty"`
+	CheckpointRollbacks int    `json:"checkpoint_rollbacks,omitempty"`
 }
 
 // handleStatus reports the serving state (unthrottled, so health checks
@@ -612,6 +698,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.log != nil {
 		resp.LogReplayed, resp.LogSkipped = s.log.Replayed()
 	}
+	if br := s.bao.Breaker(); br != nil {
+		resp.BreakerState = br.State().String()
+		resp.BreakerTrips = br.Trips()
+	}
+	if s.ckpt != nil {
+		resp.ModelGeneration = uint64(s.o.ModelGeneration.Value())
+	}
+	resp.RetrainRejected = int(s.o.RetrainRejected.Value())
+	resp.CheckpointRollbacks = int(s.o.CheckpointRollbacks.Value())
 	writeJSON(w, resp)
 }
 

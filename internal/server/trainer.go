@@ -22,18 +22,35 @@ func (s *Server) signalRetrain() {
 // signals, fits a fresh Thompson-sampling draw on a detached model
 // (core.Bao.RetrainAsync — no lock held during the fit, so in-flight
 // selections keep predicting with the previous model), and hot-swaps the
-// fitted model in. Exits when the signal channel closes at shutdown.
+// fitted model in, checkpointing each accepted generation. Exits when the
+// signal channel closes at shutdown.
 func (s *Server) trainer() {
 	defer close(s.trainerDone)
 	for signaled := range s.retrainCh {
-		if s.cfg.TrainDelay > 0 {
-			// Test hook: stretch the training window so tests can assert
-			// the fast path never waits on an in-flight retrain.
-			time.Sleep(s.cfg.TrainDelay)
+		s.trainOnce(signaled)
+	}
+}
+
+// trainOnce runs one retrain cycle. RetrainAsync recovers panics inside
+// the fit itself; this recover is the outer belt for everything else in
+// the cycle (checkpointing, bookkeeping) — a panicking trainer goroutine
+// would otherwise take the whole server down, the exact opposite of the
+// guard's degradation ladder.
+func (s *Server) trainOnce(signaled time.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.o.TrainerPanics.Inc()
+			s.bao.Breaker().ModelFailure("trainer-panic")
 		}
-		if s.bao.RetrainAsync() {
-			s.o.HotSwaps.Inc()
-			s.o.TrainerLag.Set(time.Since(signaled).Seconds())
-		}
+	}()
+	if s.cfg.TrainDelay > 0 {
+		// Test hook: stretch the training window so tests can assert
+		// the fast path never waits on an in-flight retrain.
+		time.Sleep(s.cfg.TrainDelay)
+	}
+	if s.bao.RetrainAsync() {
+		s.o.HotSwaps.Inc()
+		s.o.TrainerLag.Set(time.Since(signaled).Seconds())
+		s.saveCheckpoint()
 	}
 }
