@@ -2,10 +2,10 @@ package bao_test
 
 // Sequential-vs-parallel pairs for the TCNN hot path: training
 // (data-parallel mini-batches), inference (tree fan-out), and Select
-// (plan deduplication). Each pair lands in BENCH_results.json; the
-// recorded core count says whether wall-clock speedups were possible on
-// the benchmarking machine (workers>1 cannot beat workers=1 on one core,
-// but results are bit-identical either way).
+// (plan deduplication). Each pair lands in BENCH_results.json with its
+// own worker count in the cores field, so a workers=4 row is directly
+// comparable against its workers=1 twin (results are bit-identical
+// either way; speedups additionally require GOMAXPROCS > 1).
 
 import (
 	"bytes"
@@ -58,7 +58,7 @@ func BenchmarkTrain(b *testing.B) {
 				m.Train(trees, ys, tc)
 			}
 			b.StopTimer()
-			recordBench(b, 0)
+			recordBenchWorkers(b, 0, workers)
 		})
 	}
 }
@@ -78,7 +78,7 @@ func BenchmarkPredict(b *testing.B) {
 				m.Predict(batch)
 			}
 			b.StopTimer()
-			recordBench(b, 0)
+			recordBenchWorkers(b, 0, workers)
 		})
 	}
 }

@@ -37,9 +37,11 @@ type benchRow struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
-	// Cores records GOMAXPROCS at run time: the sequential-vs-parallel
-	// pairs (Train, Predict, Select) can only show wall-clock speedups
-	// when this exceeds 1.
+	// Cores records the benchmark's actual execution parallelism: the
+	// workers/clients parameter for parameterized sub-benchmarks, and
+	// GOMAXPROCS otherwise. The sequential-vs-parallel pairs (Train,
+	// Predict, ServerQuery) can only show wall-clock speedups when the
+	// machine's GOMAXPROCS also exceeds 1.
 	Cores int `json:"cores"`
 }
 
@@ -50,15 +52,24 @@ var benchResults struct {
 
 // recordBench captures a finished benchmark's timing. queriesPerIter is
 // the nominal workload stream length one iteration processes (0 when the
-// benchmark is not a query loop).
+// benchmark is not a query loop). Benchmarks without an explicit
+// parallelism parameter record GOMAXPROCS as their core count.
 func recordBench(b *testing.B, queriesPerIter int) {
+	recordBenchWorkers(b, queriesPerIter, runtime.GOMAXPROCS(0))
+}
+
+// recordBenchWorkers is recordBench for parallelism-parameterized
+// sub-benchmarks: workers is the sub-benchmark's own worker/client
+// count, not the machine-wide GOMAXPROCS, so a workers=1 row is
+// distinguishable from a workers=4 row in BENCH_results.json.
+func recordBenchWorkers(b *testing.B, queriesPerIter, workers int) {
 	b.Helper()
 	elapsed := b.Elapsed()
 	if b.N == 0 || elapsed <= 0 {
 		return
 	}
 	row := benchRow{Name: b.Name(), NsPerOp: float64(elapsed.Nanoseconds()) / float64(b.N),
-		Cores: runtime.GOMAXPROCS(0)}
+		Cores: workers}
 	if queriesPerIter > 0 {
 		row.QueriesPerSec = float64(queriesPerIter*b.N) / elapsed.Seconds()
 	}
@@ -308,7 +319,34 @@ func benchServer(b *testing.B, clients int) {
 		}
 	}
 	b.StopTimer()
-	recordBench(b, benchServerQueries)
+	// The observability endpoints must serve live data while the loop is
+	// under load: the regret ledger has booked every decision and the
+	// event journal is reachable.
+	var snap struct {
+		Decisions uint64 `json:"decisions"`
+	}
+	res, err := http.Get(base + "/debug/regret")
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = json.NewDecoder(res.Body).Decode(&snap)
+	res.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if snap.Decisions == 0 {
+		b.Fatal("/debug/regret served no decisions after the query loop")
+	}
+	res, err = http.Get(base + "/debug/events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body) //nolint:errcheck
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		b.Fatalf("/debug/events status %d", res.StatusCode)
+	}
+	recordBenchWorkers(b, benchServerQueries, clients)
 }
 
 func BenchmarkServerQuerySequential(b *testing.B) { benchServer(b, 1) }

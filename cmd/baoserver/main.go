@@ -54,6 +54,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "versioned model checkpoint directory (rolls back past corrupt generations on startup)")
 	ckptKeep := flag.Int("checkpoint-keep", 0, "checkpoint generations to retain (0 = default 5)")
 	guardOn := flag.Bool("guard", true, "enable the model-quality guardrails: validation-gated hot-swap and the default-plan circuit breaker")
+	eventLog := flag.String("eventlog", "", "rotating JSONL file for the structured event journal (swaps, breaker transitions, checkpoints; /debug/events serves it in-memory regardless)")
 	flag.Parse()
 
 	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
@@ -91,6 +92,7 @@ func main() {
 		ModelPath:      *modelPath,
 		CheckpointDir:  *ckptDir,
 		CheckpointKeep: *ckptKeep,
+		EventLogPath:   *eventLog,
 	})
 	if err != nil {
 		fatal(err)

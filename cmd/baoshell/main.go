@@ -52,7 +52,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics and /debug/traces\n", srv.Addr)
+		fmt.Printf("observability: http://%s/metrics, /debug/traces, /debug/regret, /debug/events\n", srv.Addr)
 	}
 
 	inst, err := workload.ByName(*wlName, workload.Config{Scale: *scale, Queries: maxInt(*train, 1), Seed: 42})
@@ -72,6 +72,9 @@ func main() {
 		cfg.Validate = bao.ValidateConfig{Enabled: true}
 	}
 	opt := bao.New(eng, cfg)
+	// Capture the learning-loop event journal (swaps, breaker transitions,
+	// censored queries) so \events can replay what the guard and trainer did.
+	opt.Observer().EnableEvents(256)
 	if *train > 0 {
 		fmt.Printf("pre-training Bao on %d queries...\n", *train)
 		for _, q := range inst.Queries[:*train] {
@@ -83,7 +86,7 @@ func main() {
 	}
 	baoOn := false
 
-	fmt.Println(`type SQL (single line), \t for tables, \g for guard status, \q to quit`)
+	fmt.Println(`type SQL (single line), \t for tables, \g for guard status, \events for the learning-loop journal, \q to quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -108,6 +111,9 @@ func main() {
 			continue
 		case line == `\g`:
 			printGuardStatus(opt)
+			continue
+		case line == `\events` || line == `\e`:
+			printEvents(opt)
 			continue
 		}
 		stmt, err := sqlparser.Parse(line)
@@ -236,6 +242,37 @@ func printGuardStatus(opt *bao.Optimizer) {
 		snap.Counter("bao_retrain_rejected_total"),
 		snap.Counter("bao_nonfinite_targets_total"),
 		snap.Counter("bao_nonfinite_predictions_total"))
+}
+
+// printEvents renders the learning-loop event journal, oldest first so
+// the session reads as a story: retrains accepted or rejected, breaker
+// transitions, checkpoints, and censored/abandoned queries.
+func printEvents(opt *bao.Optimizer) {
+	events := opt.Observer().Events()
+	if len(events) == 0 {
+		fmt.Println("no events yet (run some queries; retrains, swaps, and breaker transitions land here)")
+		return
+	}
+	const maxEvents = 25
+	if len(events) > maxEvents {
+		fmt.Printf(" ... (%d older events)\n", len(events)-maxEvents)
+		events = events[:maxEvents]
+	}
+	// Events() is newest-first; flip for chronological reading.
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := events[i]
+		line := fmt.Sprintf(" %4d  %s  %-20s", ev.Seq, ev.At.Format("15:04:05.000"), ev.Kind)
+		if ev.Arm != "" {
+			line += "  arm=" + ev.Arm
+		}
+		if ev.Generation > 0 {
+			line += fmt.Sprintf("  gen=%d", ev.Generation)
+		}
+		if ev.Detail != "" {
+			line += "  " + ev.Detail
+		}
+		fmt.Println(line)
+	}
 }
 
 func fatal(err error) {

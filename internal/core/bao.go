@@ -187,10 +187,18 @@ type Selection struct {
 	// inference ran once per distinct plan, not once per arm.
 	UniquePlans int
 	UsedModel   bool
+	// WarmUp records whether the arm-warmup round-robin (not the model)
+	// drove this choice; the calibration telemetry splits ratios on it.
+	WarmUp bool
 	// Trace is the in-flight decision trace for this query; nil unless
 	// the observer has tracing enabled. Observe/ObserveValue finish and
 	// publish it.
 	Trace *obs.Trace
+	// trueArmSecs, when set via ObserveValueWithArms, holds the measured
+	// metric value of every arm for this query — the harness's simulated
+	// clock knows them all — so the regret ledger books true baselines
+	// instead of the model's counterfactual predictions.
+	trueArmSecs []float64
 }
 
 // recentKeep is how many of the newest experiences are always included in
@@ -256,8 +264,9 @@ type Bao struct {
 	breaker *guard.Breaker
 
 	// retrainHook, when set, is signaled instead of retraining inline —
-	// the serving layer points it at its trainer goroutine's channel.
-	retrainHook func()
+	// the serving layer points it at its trainer goroutine's channel. The
+	// Cause identifies the decision whose observation triggered it.
+	retrainHook func(obs.Cause)
 	// expHook observes every admitted experience (the serving layer's
 	// durable log). Called outside the lock, after admission.
 	expHook func(Experience)
@@ -312,6 +321,11 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 			if t.To == guard.Open {
 				o.BreakerTrips.Inc()
 			}
+			o.Emit(obs.Event{
+				Kind:     obs.EventBreaker,
+				Detail:   t.From.String() + "->" + t.To.String() + ": " + t.Reason,
+				Decision: t.Decision,
+			})
 		})
 	}
 	if cfg.NewModel != nil {
@@ -386,9 +400,12 @@ func (b *Bao) CriticalKeys() []string {
 // SetRetrainHook routes retrain triggers to fn instead of retraining
 // inline: when the schedule (or a gross misprediction) calls for a
 // retrain, fn is invoked — typically a non-blocking channel send into a
-// background trainer that later calls RetrainAsync. Pass nil to restore
-// the inline default. fn must not block and must not call back into Bao.
-func (b *Bao) SetRetrainHook(fn func()) {
+// background trainer that later calls RetrainAsyncFor. fn receives the
+// identity of the decision that triggered it, so the eventual async
+// retrain's trace links back to the query that scheduled it. Pass nil to
+// restore the inline default. fn must not block and must not call back
+// into Bao.
+func (b *Bao) SetRetrainHook(fn func(obs.Cause)) {
 	b.mu.Lock()
 	b.retrainHook = fn
 	b.mu.Unlock()
@@ -451,6 +468,7 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	o := b.observer
 	selStart := time.Now()
 	tr := o.StartTrace(sql)
+	tr.SetRequestID(obs.RequestIDFrom(ctx))
 	q, err := b.Eng.AnalyzeSQL(sql)
 	if err != nil {
 		return nil, err
@@ -472,6 +490,7 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	candidates := b.selectableArmsLocked()
 	windowLen := len(b.exp)
 	b.mu.RUnlock()
+	sel.WarmUp = warm
 	// The breaker clocks every decision. While it is open the learned
 	// path is not trusted: plan only the default arm — cheap, and immune
 	// to a misbehaving hint-set planner — and serve it, still recording
@@ -846,6 +865,69 @@ func (b *Bao) ObserveValue(sel *Selection, secs float64) {
 	b.observe(sel, secs, false)
 }
 
+// ObserveValueWithArms is ObserveValue for harnesses that measured EVERY
+// arm for this query (regret experiments on the simulated clock):
+// armSecs[i] is arm i's metric value, and armSecs[sel.ArmID] is recorded
+// as the observation. The extra information flows into the regret
+// ledger, which books the default arm's and the best arm's measured cost
+// as true baselines instead of the model's counterfactual predictions.
+func (b *Bao) ObserveValueWithArms(sel *Selection, armSecs []float64) {
+	if len(armSecs) != len(b.Cfg.Arms) {
+		b.observe(sel, armSecs[sel.ArmID], false)
+		return
+	}
+	sel.trueArmSecs = armSecs
+	b.observe(sel, armSecs[sel.ArmID], false)
+}
+
+// regretEntry books one decision's regret accounting: observed cost of
+// the chosen arm against the default arm and the best arm. Baselines are
+// measured values when the caller evaluated every arm (trueArmSecs),
+// otherwise the model's own predictions; with neither, both baselines
+// equal the observation and the entry contributes zero regret (it still
+// counts the decision).
+func (b *Bao) regretEntry(sel *Selection, secs float64, censored bool) obs.RegretEntry {
+	cause := sel.Trace.Cause()
+	e := obs.RegretEntry{
+		TraceID:      cause.TraceID,
+		RequestID:    cause.RequestID,
+		ArmID:        sel.ArmID,
+		Arm:          b.Cfg.Arms[sel.ArmID].Name,
+		ObservedSecs: secs,
+		DefaultSecs:  secs,
+		BestSecs:     secs,
+		Censored:     censored,
+		WarmUp:       sel.WarmUp,
+	}
+	baselines := sel.trueArmSecs
+	if baselines != nil {
+		e.TrueBaseline = true
+	} else if sel.UsedModel {
+		baselines = sel.Preds
+	}
+	if len(baselines) == 0 {
+		return e
+	}
+	if e.TrueBaseline || sel.ArmID != 0 {
+		// Serving the default arm has zero regret vs default by
+		// definition; only a measured baseline can say otherwise.
+		// MaxFloat64 is the clamp for degenerate predictions, not a price.
+		if d := baselines[0]; isFinite(d) && d < math.MaxFloat64 {
+			e.DefaultSecs = d
+		}
+	}
+	best := math.Inf(1)
+	for _, v := range baselines {
+		if isFinite(v) && v < best {
+			best = v
+		}
+	}
+	if isFinite(best) && best < math.MaxFloat64 {
+		e.BestSecs = best
+	}
+	return e
+}
+
 // ObserveLatency records an externally measured metric value with the full
 // on-policy semantics of Observe, including the gross-misprediction early
 // retrain. The serving layer's /v1/observe endpoint uses it: the client
@@ -870,7 +952,8 @@ func (b *Bao) ObserveTimeout(sel *Selection, budgetSecs float64) {
 	o.Queries.Inc()
 	o.QueryTimeouts.Inc()
 	o.CensoredExperiences.Inc()
-	o.ExecSeconds.Observe(budgetSecs)
+	cause := sel.Trace.Cause()
+	o.ExecSeconds.ObserveEx(budgetSecs, cause.TraceID, cause.RequestID)
 	armName := b.Cfg.Arms[sel.ArmID].Name
 	o.ArmObserved.With(armName).Add(budgetSecs)
 	var pred float64
@@ -883,6 +966,18 @@ func (b *Bao) ObserveTimeout(sel *Selection, budgetSecs float64) {
 			o.ArmRegret.With(armName).Add(regret)
 		}
 	}
+	// The ledger books the censored observation at its budget: a lower
+	// bound on the regret actually suffered, flagged Censored so readers
+	// know it understates.
+	o.RecordRegret(b.regretEntry(sel, budgetSecs, true))
+	o.Emit(obs.Event{
+		Kind:      obs.EventCensored,
+		Detail:    "execution cancelled at deadline",
+		TraceID:   cause.TraceID,
+		RequestID: cause.RequestID,
+		Arm:       armName,
+		Secs:      budgetSecs,
+	})
 	b.reportBreakerOutcome(sel, budgetSecs)
 	b.record(Experience{
 		Tree:     sel.Trees[sel.ArmID],
@@ -910,6 +1005,14 @@ func (b *Bao) Abandon(sel *Selection, reason string) {
 	if sel == nil {
 		return
 	}
+	cause := sel.Trace.Cause()
+	b.observer.Emit(obs.Event{
+		Kind:      obs.EventAbandoned,
+		Detail:    reason,
+		TraceID:   cause.TraceID,
+		RequestID: cause.RequestID,
+		Arm:       b.Cfg.Arms[sel.ArmID].Name,
+	})
 	if tr := sel.Trace; tr != nil {
 		tr.AddSpan("abandon", time.Now(), 0, reason)
 		b.observer.FinishTrace(tr)
@@ -931,7 +1034,8 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 	obsStart := time.Now()
 	o := b.observer
 	o.Queries.Inc()
-	o.ExecSeconds.Observe(secs)
+	cause := sel.Trace.Cause()
+	o.ExecSeconds.ObserveEx(secs, cause.TraceID, cause.RequestID)
 	armName := b.Cfg.Arms[sel.ArmID].Name
 	o.ArmObserved.With(armName).Add(secs)
 	var pred, ratio float64
@@ -940,11 +1044,13 @@ func (b *Bao) observe(sel *Selection, secs float64, allowEarly bool) {
 		if pred > 0 {
 			ratio = secs / pred
 			o.Calibration.Observe(ratio)
+			o.ObserveCalibration(armName, sel.WarmUp, ratio)
 			if regret := secs - pred; regret > 0 {
 				o.ArmRegret.With(armName).Add(regret)
 			}
 		}
 	}
+	o.RecordRegret(b.regretEntry(sel, secs, false))
 	if b.Eng != nil {
 		st := b.Eng.Pool.Stats()
 		o.PoolHits.Set(float64(st.Hits))
@@ -1036,7 +1142,9 @@ func (b *Bao) record(e Experience, pred float64, allowEarly, fromQuery bool, tr 
 	expHook := b.expHook
 	b.mu.Unlock()
 	if expHook != nil {
+		hookStart := time.Now()
 		expHook(e)
+		tr.AddSpan("explog_append", hookStart, time.Since(hookStart), "")
 	}
 	if !should {
 		return
@@ -1044,17 +1152,19 @@ func (b *Bao) record(e Experience, pred float64, allowEarly, fromQuery bool, tr 
 	if early {
 		o.EarlyRetrains.Inc()
 	}
+	cause := tr.Cause()
 	if hook != nil {
-		hook()
+		hook(cause)
 		return
 	}
 	retrainStart := time.Now()
 	if b.guardedRetrains() {
 		// With the guard configured, inline retrains route through
-		// RetrainAsync so the validation gate, fault hooks, and panic
+		// RetrainAsyncFor so the validation gate, fault hooks, and panic
 		// recovery apply on every path — Retrain's in-place fit would
-		// mutate the live model before any verdict could reject it.
-		b.RetrainAsync()
+		// mutate the live model before any verdict could reject it. The
+		// async trace it publishes links back to this decision.
+		b.RetrainAsyncFor(cause)
 	} else {
 		b.Retrain()
 	}
@@ -1222,7 +1332,15 @@ func (b *Bao) Retrain() {
 	start := time.Now()
 	epochs := b.Model.Fit(trees, secs)
 	epochs += enforceCriticalOn(b.Model, trees, secs, crit)
-	b.finishRetrainLocked(b.Model, len(trees), epochs, time.Since(start).Seconds())
+	wall := time.Since(start).Seconds()
+	b.finishRetrainLocked(b.Model, len(trees), epochs, wall)
+	// The inline path fits the live model in place — there is no swap to
+	// gate — but journal consumers (baoshell \events, the JSONL sink)
+	// still need to see that a retrain landed, so it reports as an
+	// unconditionally accepted fit.
+	b.observer.Emit(obs.Event{Kind: obs.EventSwapAccepted,
+		Detail: fmt.Sprintf("samples=%d epochs=%d (inline)", len(trees), epochs),
+		Secs:   wall})
 }
 
 // RetrainAsync performs one Thompson sampling draw on a detached model
@@ -1239,12 +1357,24 @@ func (b *Bao) Retrain() {
 // the candidate, count bao_retrain_rejected_total, and keep the
 // incumbent. Returns false when nothing was trained or the candidate was
 // rejected.
-func (b *Bao) RetrainAsync() bool {
+func (b *Bao) RetrainAsync() bool { return b.RetrainAsyncFor(obs.Cause{}) }
+
+// RetrainAsyncFor is RetrainAsync carrying the identity of the decision
+// that triggered it: the published "retrain" trace (sample → fit →
+// validate → swap spans) and the swap-accepted/rejected events all link
+// back to cause, so a hot-swap under load is resolvable from the query
+// whose observation scheduled it. A zero Cause (manual retrain, tests)
+// produces an unlinked trace.
+func (b *Bao) RetrainAsyncFor(cause obs.Cause) bool {
 	o := b.observer
+	tr := o.StartLinkedTrace("retrain", cause)
+	sampleStart := time.Now()
 	b.mu.Lock()
 	trees, secs, valTrees, valSecs, crit := b.trainingSampleLocked()
 	if len(trees) == 0 {
 		b.mu.Unlock()
+		tr.AddSpan("sample", sampleStart, time.Since(sampleStart), "no trainable experiences")
+		o.FinishTrace(tr)
 		return false
 	}
 	b.fitAttempts++
@@ -1254,22 +1384,42 @@ func (b *Bao) RetrainAsync() bool {
 	// internal seed bump would have provided.
 	seed := b.Cfg.Seed + int64(b.trainCount+1)*997
 	b.mu.Unlock()
+	tr.AddSpan("sample", sampleStart, time.Since(sampleStart),
+		fmt.Sprintf("train=%d holdout=%d", len(trees), len(valTrees)))
+	fitStart := time.Now()
 	fresh, epochs, wall, err := b.fitDetached(attempt, seed, trees, secs, crit)
+	tr.AddSpan("fit", fitStart, time.Since(fitStart), fmt.Sprintf("samples=%d epochs=%d", len(trees), epochs))
 	if err != nil {
 		o.TrainerPanics.Inc()
 		b.breaker.ModelFailure("trainer-panic")
+		o.Emit(obs.Event{Kind: obs.EventTrainerPanic, Detail: err.Error(),
+			TraceID: cause.TraceID, RequestID: cause.RequestID})
+		o.FinishTrace(tr)
 		return false
 	}
-	if verdict := b.validateCandidate(fresh, valTrees, valSecs, trees); !verdict.OK {
+	validateStart := time.Now()
+	verdict := b.validateCandidate(fresh, valTrees, valSecs, trees)
+	tr.AddSpan("validate", validateStart, time.Since(validateStart), verdict.Reason)
+	if !verdict.OK {
 		o.RetrainRejected.Inc()
 		b.breaker.ModelFailure("candidate-rejected: " + verdict.Reason)
+		o.Emit(obs.Event{Kind: obs.EventSwapRejected, Detail: verdict.Reason,
+			TraceID: cause.TraceID, RequestID: cause.RequestID})
+		o.FinishTrace(tr)
 		return false
 	}
 	b.breaker.ModelAccepted()
+	swapStart := time.Now()
 	b.mu.Lock()
 	b.Model = fresh
 	b.finishRetrainLocked(fresh, len(trees), epochs, wall)
 	b.mu.Unlock()
+	tr.AddSpan("swap", swapStart, time.Since(swapStart), "")
+	o.Emit(obs.Event{Kind: obs.EventSwapAccepted,
+		Detail:  fmt.Sprintf("samples=%d epochs=%d", len(trees), epochs),
+		TraceID: cause.TraceID, RequestID: cause.RequestID,
+		Secs: wall})
+	o.FinishTrace(tr)
 	return true
 }
 

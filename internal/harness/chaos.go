@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"reflect"
+	"time"
 
 	"bao/internal/cloud"
 	"bao/internal/core"
@@ -43,8 +44,11 @@ func (s *Session) chaosConfig(workers int) core.Config {
 	cfg.Validate = guard.ValidateConfig{Enabled: true}
 	cfg.Fault = chaosFault()
 	// A private observer per run keeps the guard counters comparable
-	// across runs instead of accumulating into the process default.
+	// across runs instead of accumulating into the process default. Event
+	// capture is on: the determinism check below extends to the journal,
+	// proving observability itself never perturbs the replay.
 	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	cfg.Observer.EnableEvents(512)
 	return cfg
 }
 
@@ -89,6 +93,19 @@ func (s *Session) Chaos() error {
 		}
 	}
 
+	// The structured event journal must replay identically too, once the
+	// wall-clock fields (At, Secs — fit wall time varies run to run) are
+	// projected out: event order, kinds, details, and decision numbers are
+	// all decision-clocked.
+	baseEvents := projectEvents(runs[0].Bao.Observer().Events())
+	for i, r := range runs[1:] {
+		got := projectEvents(r.Bao.Observer().Events())
+		if !reflect.DeepEqual(baseEvents, got) {
+			return fmt.Errorf("harness: chaos: event journal diverges between workers=%d and workers=%d:\n%+v\nvs\n%+v",
+				workerCounts[0], workerCounts[i+1], baseEvents, got)
+		}
+	}
+
 	var rows [][]string
 	for _, tr := range base {
 		rows = append(rows, []string{
@@ -116,5 +133,21 @@ func (s *Session) Chaos() error {
 
 	fmt.Fprintf(out, "breaker transitions identical across worker counts %v (%d transitions, decision-clocked)\n",
 		workerCounts, len(base))
+	fmt.Fprintf(out, "event journal identical across worker counts %v (%d events, wall-clock fields excluded)\n",
+		workerCounts, len(baseEvents))
 	return nil
+}
+
+// projectEvents strips the wall-clock fields from a journal snapshot so
+// deterministic runs compare equal: At is real time and Secs carries fit
+// wall time; everything else — order, sequence numbers, kinds, details,
+// decision ordinals — is decision-clocked and must match exactly.
+func projectEvents(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(events))
+	for i, ev := range events {
+		ev.At = time.Time{}
+		ev.Secs = 0
+		out[i] = ev
+	}
+	return out
 }

@@ -22,7 +22,8 @@ func TestChaosExperiment(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"identical across worker counts",
+		"breaker transitions identical across worker counts",
+		"event journal identical across worker counts",
 		"candidate-rejected", // the NaN model the gate refused
 		"cooldown-elapsed",   // open → half-open
 		"probes-passed",      // half-open → closed

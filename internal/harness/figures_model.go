@@ -420,8 +420,10 @@ func (s *Session) Figure16() error {
 				pgRegrets = append(pgRegrets, secs[0]-opt)
 				// Feed the observation for the chosen arm (counters were
 				// measured cold inside evalArmsMetric; approximate with the
-				// metric value directly).
-				b.ObserveValue(sel, secs[sel.ArmID])
+				// metric value directly). Every arm's true cost is known
+				// here, so the regret ledger books measured baselines
+				// rather than the model's counterfactual predictions.
+				b.ObserveValueWithArms(sel, secs)
 			}
 			rows = append(rows, []string{metric.String(), fmt.Sprintf("%d", it+1),
 				fmt.Sprintf("%.4f", percentile(regrets, 50)),

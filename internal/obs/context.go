@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// requestIDKey is the context key carrying the per-request ID through the
+// serving stack (HTTP handler → select → execute → observe).
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying id. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// MintRequestID generates a fresh 16-hex-digit request ID. Used by the
+// HTTP layer when a client did not supply one, so every decision is
+// addressable even for anonymous callers.
+func MintRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Cause identifies the decision that triggered an asynchronous action
+// (retrain, checkpoint, hot-swap): the trace ID of the query whose
+// observation scheduled it, plus the request ID it arrived under. A zero
+// Cause means "no known trigger" (manual retrain, startup).
+type Cause struct {
+	TraceID   uint64
+	RequestID string
+}

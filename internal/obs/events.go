@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event kinds emitted by the learning loop. Detail carries the
+// human-readable specifics (rejection reason, breaker transition, error).
+const (
+	EventSwapAccepted    = "swap-accepted"
+	EventSwapRejected    = "swap-rejected"
+	EventTrainerPanic    = "trainer-panic"
+	EventBreaker         = "breaker-transition"
+	EventCheckpoint      = "checkpoint-saved"
+	EventCheckpointError = "checkpoint-save-error"
+	EventRollback        = "checkpoint-rollback"
+	EventCensored        = "censored"
+	EventAbandoned       = "abandoned"
+)
+
+// Event is one structured lifecycle record: model swaps, breaker
+// transitions, checkpoint saves and rollbacks, censored and abandoned
+// outcomes. TraceID/RequestID link the event back to the decision that
+// caused it (zero when the cause is unknown, e.g. a manual retrain).
+type Event struct {
+	Seq        uint64    `json:"seq"`
+	At         time.Time `json:"at"`
+	Kind       string    `json:"kind"`
+	Detail     string    `json:"detail,omitempty"`
+	TraceID    uint64    `json:"trace_id,omitempty"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Arm        string    `json:"arm,omitempty"`
+	Decision   uint64    `json:"decision,omitempty"`
+	Generation uint64    `json:"generation,omitempty"`
+	Secs       float64   `json:"secs,omitempty"`
+}
+
+// EventJournal keeps the last N events in a ring for /debug/events and
+// optionally streams every event to a rotating JSONL file. Appends are
+// serialized on the journal's own mutex, never inside any caller's lock
+// except the breaker's transition callback (safe: the journal calls
+// nothing back).
+type EventJournal struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event
+	next int
+	full bool
+
+	f        *os.File
+	path     string
+	size     int64
+	maxBytes int64
+	keep     int
+}
+
+// NewEventJournal creates an in-memory journal retaining the last n
+// events (n < 1 clamped to 1).
+func NewEventJournal(n int) *EventJournal {
+	if n < 1 {
+		n = 1
+	}
+	return &EventJournal{ring: make([]Event, n)}
+}
+
+// LogTo additionally streams events to a JSONL file at path, rotating to
+// path.1 … path.<keep> when the live file exceeds maxBytes (maxBytes <= 0
+// means 4 MiB; keep < 1 means 3 rotated files).
+func (j *EventJournal) LogTo(path string, maxBytes int64, keep int) error {
+	if j == nil {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	if keep < 1 {
+		keep = 3
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: open event journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("obs: stat event journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f, j.path, j.size = f, path, st.Size()
+	j.maxBytes, j.keep = maxBytes, keep
+	return nil
+}
+
+// Append stamps ev with the next sequence number and wall time, stores it
+// in the ring, and (when a file sink is attached) appends one JSON line.
+// Returns the stamped event.
+func (j *EventJournal) Append(ev Event) Event {
+	if j == nil {
+		return ev
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	ev.Seq = j.seq
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	j.ring[j.next] = ev
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.full = true
+	}
+	if j.f != nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			line = append(line, '\n')
+			if j.size+int64(len(line)) > j.maxBytes {
+				j.rotateLocked()
+			}
+			if n, err := j.f.Write(line); err == nil {
+				j.size += int64(n)
+			}
+		}
+	}
+	return ev
+}
+
+// rotateLocked shifts path.(k-1) → path.k, path → path.1 and reopens a
+// fresh live file. Errors are swallowed: the journal is telemetry, not a
+// ledger of record, and must never take the serving path down.
+func (j *EventJournal) rotateLocked() {
+	j.f.Close()
+	for k := j.keep; k >= 2; k-- {
+		os.Rename(fmt.Sprintf("%s.%d", j.path, k-1), fmt.Sprintf("%s.%d", j.path, k)) //nolint:errcheck
+	}
+	os.Rename(j.path, j.path+".1") //nolint:errcheck
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return
+	}
+	j.f, j.size = f, 0
+}
+
+// Events returns the retained events, newest first.
+func (j *EventJournal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if j.full {
+		n = len(j.ring)
+	}
+	out := make([]Event, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := j.next - i
+		if idx < 0 {
+			idx += len(j.ring)
+		}
+		out = append(out, j.ring[idx])
+	}
+	return out
+}
+
+// Close detaches and closes the file sink (the in-memory ring keeps
+// working).
+func (j *EventJournal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

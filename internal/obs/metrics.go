@@ -74,6 +74,15 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar links a recent histogram observation back to the decision
+// trace that produced it (OpenMetrics-style; rendered as a comment line
+// so the 0.0.4 text exposition stays parseable by strict scrapers).
+type Exemplar struct {
+	Value     float64 `json:"value"`
+	TraceID   uint64  `json:"trace_id,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
+}
+
 // Histogram counts observations into fixed upper-bound buckets, plus a
 // running sum and count (Prometheus histogram semantics).
 type Histogram struct {
@@ -83,6 +92,7 @@ type Histogram struct {
 	counts  []atomic.Int64
 	sumBits atomic.Uint64
 	count   atomic.Int64
+	ex      atomic.Pointer[Exemplar]
 }
 
 // Observe records one value.
@@ -97,6 +107,27 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sumBits, v)
 	h.count.Add(1)
+}
+
+// ObserveEx records one value and, when the observation came from an
+// identified decision, stores it as the histogram's exemplar.
+func (h *Histogram) ObserveEx(v float64, traceID uint64, requestID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != 0 || requestID != "" {
+		h.ex.Store(&Exemplar{Value: v, TraceID: traceID, RequestID: requestID})
+	}
+}
+
+// Exemplar returns the most recent identified observation (nil when none
+// was recorded).
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // Count returns the total number of observations.
@@ -166,6 +197,53 @@ func (v *CounterVec) Values() map[string]float64 {
 	out := make(map[string]float64, len(v.kids))
 	for k, c := range v.kids {
 		out[k] = c.Value()
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms partitioned by one label, all
+// sharing the same bucket bounds (e.g. prediction-calibration ratios
+// split by arm or by warm-up phase).
+type HistogramVec struct {
+	name   string
+	help   string
+	label  string
+	bounds []float64
+	mu     sync.RWMutex
+	kids   map[string]*Histogram
+}
+
+// With returns the histogram for a label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.kids[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.kids[value]; h == nil {
+		h = &Histogram{name: v.name, bounds: v.bounds}
+		h.counts = make([]atomic.Int64, len(v.bounds)+1)
+		v.kids[value] = h
+	}
+	return h
+}
+
+// children returns a copy of the label → histogram map.
+func (v *HistogramVec) children() map[string]*Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Histogram, len(v.kids))
+	for k, h := range v.kids {
+		out[k] = h
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -39,6 +40,22 @@ type Observer struct {
 	Calibration   *Histogram // bao_prediction_ratio (observed/predicted)
 	GrossMispred  *Counter   // bao_gross_mispredictions_total
 	EarlyRetrains *Counter   // bao_early_retrains_total
+
+	// Learning-loop accounting: regret against the default arm and the
+	// best arm (cumulative and over a sliding window), calibration ratio
+	// histograms split by arm and by warm-up phase, the windowed drift
+	// statistic (median log observed/predicted) the breaker and a
+	// HERO-style confidence gate can read, and the structured event
+	// journal's per-kind counter.
+	RegretDecisions *Counter      // bao_regret_decisions_total
+	RegretVsDefault *Gauge        // bao_regret_vs_default_seconds
+	RegretVsBest    *Gauge        // bao_regret_vs_best_seconds
+	RegretWinDef    *Gauge        // bao_regret_window_vs_default_seconds
+	RegretWinBest   *Gauge        // bao_regret_window_vs_best_seconds
+	CalibByArm      *HistogramVec // bao_prediction_ratio_by_arm{arm}
+	CalibByPhase    *HistogramVec // bao_prediction_ratio_by_phase{phase}
+	CalibDrift      *Gauge        // bao_calibration_drift_log_ratio
+	EventsTotal     *CounterVec   // bao_events_total{kind}
 
 	// Deadline-aware execution: queries cancelled at their deadline and
 	// the censored (lower-bound) experiences recorded for them.
@@ -94,7 +111,10 @@ type Observer struct {
 	PoolMisses     *Gauge      // bao_bufferpool_misses
 	PoolHitRate    *Gauge      // bao_bufferpool_hit_rate
 
-	ring atomic.Pointer[TraceRing]
+	ring    atomic.Pointer[TraceRing]
+	journal atomic.Pointer[EventJournal]
+	ledger  *RegretLedger
+	drift   *driftWindow
 }
 
 // NewObserver registers the full Bao metric set on reg (get-or-create,
@@ -123,6 +143,16 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		Calibration:   reg.Histogram("bao_prediction_ratio", "Observed/predicted ratio for the chosen arm (calibration; >8 triggers early retrain).", RatioBuckets()),
 		GrossMispred:  reg.Counter("bao_gross_mispredictions_total", "Executions observed >8x over prediction and slow in absolute terms."),
 		EarlyRetrains: reg.Counter("bao_early_retrains_total", "Retrains triggered by gross misprediction rather than schedule."),
+
+		RegretDecisions: reg.Counter("bao_regret_decisions_total", "Decisions admitted into the regret ledger."),
+		RegretVsDefault: reg.Gauge("bao_regret_vs_default_seconds", "Cumulative signed regret of Bao's choices vs the default arm (negative = Bao is winning)."),
+		RegretVsBest:    reg.Gauge("bao_regret_vs_best_seconds", "Cumulative signed regret vs the best arm per decision (true per-arm latencies in the harness, predicted-best when serving)."),
+		RegretWinDef:    reg.Gauge("bao_regret_window_vs_default_seconds", "Signed regret vs the default arm over the ledger's sliding window."),
+		RegretWinBest:   reg.Gauge("bao_regret_window_vs_best_seconds", "Signed regret vs the best arm over the ledger's sliding window."),
+		CalibByArm:      reg.HistogramVec("bao_prediction_ratio_by_arm", "Observed/predicted ratio split by chosen arm.", "arm", RatioBuckets()),
+		CalibByPhase:    reg.HistogramVec("bao_prediction_ratio_by_phase", "Observed/predicted ratio split by warm-up phase (warmup vs steady).", "phase", RatioBuckets()),
+		CalibDrift:      reg.Gauge("bao_calibration_drift_log_ratio", "Median log(observed/predicted) over the last calibrated decisions; 0 = calibrated, >0 = model optimistic."),
+		EventsTotal:     reg.CounterVec("bao_events_total", "Structured lifecycle events emitted, by kind.", "kind"),
 
 		QueryTimeouts:       reg.Counter("bao_query_timeouts_total", "Queries cancelled because execution exceeded the per-query deadline."),
 		CensoredExperiences: reg.Counter("bao_censored_experiences_total", "Censored (lower-bound) experiences recorded for timed-out executions."),
@@ -168,6 +198,8 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		PoolMisses:     reg.Gauge("bao_bufferpool_misses", "Cumulative buffer-pool misses (engine lifetime)."),
 		PoolHitRate:    reg.Gauge("bao_bufferpool_hit_rate", "Buffer-pool hit fraction over the engine lifetime."),
 	}
+	o.ledger = NewRegretLedger(256)
+	o.drift = newDriftWindow(128)
 	if ring != nil {
 		o.ring.Store(ring)
 	}
@@ -230,6 +262,112 @@ func (o *Observer) Traces() []*Trace {
 		return nil
 	}
 	return o.ring.Load().Traces()
+}
+
+// StartLinkedTrace begins a trace for asynchronous learning-loop work
+// (kind "retrain" or "checkpoint") linked back to the decision that
+// triggered it. Returns nil when tracing is off.
+func (o *Observer) StartLinkedTrace(kind string, cause Cause) *Trace {
+	if o == nil || o.ring.Load() == nil {
+		return nil
+	}
+	t := newTrace("")
+	t.Kind = kind
+	t.CauseID = cause.TraceID
+	t.RequestID = cause.RequestID
+	return t
+}
+
+// RecordRegret admits one decision into the regret ledger and refreshes
+// the regret gauges. Nil-safe; a disabled observer drops the entry.
+func (o *Observer) RecordRegret(e RegretEntry) {
+	if o == nil || o.ledger == nil {
+		return
+	}
+	t := o.ledger.Record(e)
+	o.RegretDecisions.Inc()
+	o.RegretVsDefault.Set(t.cumDef)
+	o.RegretVsBest.Set(t.cumBest)
+	o.RegretWinDef.Set(t.winDef)
+	o.RegretWinBest.Set(t.winBest)
+}
+
+// RegretSnapshot copies the regret ledger (empty snapshot when the
+// observer is disabled), the programmatic form of /debug/regret.
+func (o *Observer) RegretSnapshot() RegretSnapshot {
+	if o == nil {
+		return RegretSnapshot{PerArm: []ArmRegretStats{}, Window: []RegretEntry{}}
+	}
+	return o.ledger.Snapshot()
+}
+
+// ObserveCalibration records one observed/predicted ratio into the
+// legacy aggregate histogram's labeled companions and updates the
+// windowed drift gauge. Call only with ratio > 0 (a prediction existed).
+func (o *Observer) ObserveCalibration(arm string, warm bool, ratio float64) {
+	if o == nil || ratio <= 0 {
+		return
+	}
+	o.CalibByArm.With(arm).Observe(ratio)
+	phase := "steady"
+	if warm {
+		phase = "warmup"
+	}
+	o.CalibByPhase.With(phase).Observe(ratio)
+	if o.drift != nil {
+		o.CalibDrift.Set(o.drift.add(math.Log(ratio)))
+	}
+}
+
+// CalibrationDrift returns the current windowed drift statistic (median
+// log observed/predicted; 0 when unknown) — the signal a confidence gate
+// reads before letting the model deviate from the default plan.
+func (o *Observer) CalibrationDrift() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.CalibDrift.Value()
+}
+
+// EnableEvents attaches an in-memory event journal retaining the last n
+// events. Idempotent; safe to call while the loop runs.
+func (o *Observer) EnableEvents(n int) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	if o.journal.Load() == nil {
+		o.journal.CompareAndSwap(nil, NewEventJournal(n))
+	}
+}
+
+// Journal returns the attached event journal (nil when events are off),
+// for wiring a file sink via LogTo.
+func (o *Observer) Journal() *EventJournal {
+	if o == nil {
+		return nil
+	}
+	return o.journal.Load()
+}
+
+// Emit appends one lifecycle event to the journal (when attached) and
+// counts it by kind. Nil-safe and cheap when events are off.
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	o.EventsTotal.With(ev.Kind).Inc()
+	if j := o.journal.Load(); j != nil {
+		j.Append(ev)
+	}
+}
+
+// Events returns the retained lifecycle events, newest first (nil when
+// events are off).
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	return o.journal.Load().Events()
 }
 
 // Snapshot copies the current value of every metric in the observer's

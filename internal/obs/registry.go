@@ -99,6 +99,26 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// HistogramVec returns the named labeled histogram family, creating it
+// with the given bucket upper bounds if needed.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() interface{} {
+		return &HistogramVec{
+			name: name, help: help, label: label,
+			bounds: append([]float64(nil), bounds...),
+			kids:   make(map[string]*Histogram),
+		}
+	})
+	v, ok := m.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+	return v
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) {
@@ -122,13 +142,18 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s %s\n", name, fnum(m.Value()))
 		case *Histogram:
 			header(w, name, m.help, "histogram")
-			cum := m.snapshotBuckets()
-			for bi, ub := range m.bounds {
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fnum(ub), cum[bi])
+			writeHistogram(w, name, "", "", m)
+		case *HistogramVec:
+			header(w, name, m.help, "histogram")
+			kids := m.children()
+			keys := make([]string, 0, len(kids))
+			for k := range kids {
+				keys = append(keys, k)
 			}
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
-			fmt.Fprintf(w, "%s_sum %s\n", name, fnum(m.Sum()))
-			fmt.Fprintf(w, "%s_count %d\n", name, m.Count())
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeHistogram(w, name, m.label, k, kids[k])
+			}
 		case *CounterVec:
 			header(w, name, m.help, "counter")
 			vals := m.Values()
@@ -141,6 +166,34 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s{%s=%q} %s\n", name, m.label, k, fnum(vals[k]))
 			}
 		}
+	}
+}
+
+// writeHistogram renders one histogram's bucket/sum/count series,
+// prefixing an extra label pair when it belongs to a HistogramVec, plus
+// an exemplar comment line linking the most recent identified
+// observation to its decision trace (comments are ignored by 0.0.4
+// parsers, so the exposition stays strictly compatible).
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) {
+	prefix := ""
+	if label != "" {
+		prefix = fmt.Sprintf("%s=%q,", label, value)
+	}
+	cum := h.snapshotBuckets()
+	for bi, ub := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, prefix, fnum(ub), cum[bi])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum[len(cum)-1])
+	if label != "" {
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, value, fnum(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, fnum(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	}
+	if ex := h.Exemplar(); ex != nil {
+		fmt.Fprintf(w, "# EXEMPLAR %s {trace_id=\"%d\",request_id=%q} %s\n",
+			name, ex.TraceID, ex.RequestID, fnum(ex.Value))
 	}
 }
 
@@ -158,19 +211,32 @@ func fnum(v float64) string {
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
-	Count   int64
-	Sum     float64
-	Bounds  []float64 // upper bounds, +Inf implicit
-	Buckets []int64   // cumulative counts per bound, last entry = +Inf
+	Count    int64
+	Sum      float64
+	Bounds   []float64 // upper bounds, +Inf implicit
+	Buckets  []int64   // cumulative counts per bound, last entry = +Inf
+	Exemplar *Exemplar // most recent identified observation, nil when none
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry, the
 // programmatic equivalent of scraping /metrics.
 type Snapshot struct {
-	Counters   map[string]float64
-	Gauges     map[string]float64
-	Histograms map[string]HistogramSnapshot
-	Labeled    map[string]map[string]float64
+	Counters    map[string]float64
+	Gauges      map[string]float64
+	Histograms  map[string]HistogramSnapshot
+	Labeled     map[string]map[string]float64
+	LabeledHist map[string]map[string]HistogramSnapshot
+}
+
+// snapshotHistogram copies one histogram's state.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:    h.Count(),
+		Sum:      h.Sum(),
+		Bounds:   append([]float64(nil), h.bounds...),
+		Buckets:  h.snapshotBuckets(),
+		Exemplar: h.Exemplar(),
+	}
 }
 
 // Counter returns a plain counter's value (zero when absent).
@@ -182,10 +248,11 @@ func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
 // Snapshot copies the current value of every metric.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   map[string]float64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSnapshot{},
-		Labeled:    map[string]map[string]float64{},
+		Counters:    map[string]float64{},
+		Gauges:      map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
+		Labeled:     map[string]map[string]float64{},
+		LabeledHist: map[string]map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -203,12 +270,14 @@ func (r *Registry) Snapshot() Snapshot {
 		case *Gauge:
 			s.Gauges[name] = m.Value()
 		case *Histogram:
-			s.Histograms[name] = HistogramSnapshot{
-				Count:   m.Count(),
-				Sum:     m.Sum(),
-				Bounds:  append([]float64(nil), m.bounds...),
-				Buckets: m.snapshotBuckets(),
+			s.Histograms[name] = snapshotHistogram(m)
+		case *HistogramVec:
+			kids := m.children()
+			hs := make(map[string]HistogramSnapshot, len(kids))
+			for k, h := range kids {
+				hs[k] = snapshotHistogram(h)
 			}
+			s.LabeledHist[name] = hs
 		case *CounterVec:
 			s.Labeled[name] = m.Values()
 		}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// RegretEntry is one decision's regret accounting: the latency Bao
+// observed for the arm it chose against two baselines — the default arm
+// (what the underlying optimizer would have done, Bao's safety floor) and
+// the best arm (the lowest latency believed or known achievable this
+// decision). Baselines come from true per-arm measurements when the
+// harness's simulated clock evaluated every arm (TrueBaseline), and from
+// the model's own predictions when serving live (a counterfactual the
+// model believes, not ground truth — the distinction /debug/regret makes
+// explicit so nobody reads predicted regret as measured regret).
+type RegretEntry struct {
+	TraceID      uint64  `json:"trace_id,omitempty"`
+	RequestID    string  `json:"request_id,omitempty"`
+	ArmID        int     `json:"arm_id"`
+	Arm          string  `json:"arm"`
+	ObservedSecs float64 `json:"observed_secs"`
+	DefaultSecs  float64 `json:"default_secs"`
+	BestSecs     float64 `json:"best_secs"`
+	TrueBaseline bool    `json:"true_baseline,omitempty"`
+	Censored     bool    `json:"censored,omitempty"`
+	WarmUp       bool    `json:"warmup,omitempty"`
+}
+
+// VsDefault is the signed regret against the default arm: positive means
+// Bao's choice cost more than not steering at all.
+func (e RegretEntry) VsDefault() float64 { return e.ObservedSecs - e.DefaultSecs }
+
+// VsBest is the signed regret against the best arm this decision.
+func (e RegretEntry) VsBest() float64 { return e.ObservedSecs - e.BestSecs }
+
+// ArmRegretStats aggregates regret per arm over the ledger's lifetime.
+type ArmRegretStats struct {
+	Arm           string  `json:"arm"`
+	Decisions     uint64  `json:"decisions"`
+	Censored      uint64  `json:"censored,omitempty"`
+	ObservedSecs  float64 `json:"observed_secs"`
+	VsDefaultSecs float64 `json:"vs_default_secs"`
+	VsBestSecs    float64 `json:"vs_best_secs"`
+}
+
+// RegretSnapshot is the JSON shape served by /debug/regret: cumulative
+// and sliding-window regret totals, per-arm aggregates, and the raw
+// window entries (newest first) for drill-down.
+type RegretSnapshot struct {
+	Decisions             uint64           `json:"decisions"`
+	TrueBaselineDecisions uint64           `json:"true_baseline_decisions"`
+	CumVsDefaultSecs      float64          `json:"cum_vs_default_secs"`
+	CumVsBestSecs         float64          `json:"cum_vs_best_secs"`
+	WindowLen             int              `json:"window_len"`
+	WindowVsDefaultSecs   float64          `json:"window_vs_default_secs"`
+	WindowVsBestSecs      float64          `json:"window_vs_best_secs"`
+	PerArm                []ArmRegretStats `json:"per_arm"`
+	Window                []RegretEntry    `json:"window"`
+}
+
+// RegretLedger keeps cumulative regret totals, per-arm aggregates, and a
+// bounded window of recent entries. All methods are nil-safe so the
+// disabled observer pays nothing.
+type RegretLedger struct {
+	mu        sync.Mutex
+	win       []RegretEntry
+	next      int
+	full      bool
+	decisions uint64
+	trueBase  uint64
+	cumDef    float64
+	cumBest   float64
+	winDef    float64 // running sums over the current window contents
+	winBest   float64
+	perArm    map[string]*ArmRegretStats
+}
+
+// NewRegretLedger creates a ledger windowing the last n decisions
+// (n < 1 is clamped to 1).
+func NewRegretLedger(n int) *RegretLedger {
+	if n < 1 {
+		n = 1
+	}
+	return &RegretLedger{
+		win:    make([]RegretEntry, n),
+		perArm: map[string]*ArmRegretStats{},
+	}
+}
+
+// regretTotals is what Record hands back so the observer can refresh its
+// gauges without a second lock acquisition.
+type regretTotals struct {
+	cumDef, cumBest, winDef, winBest float64
+	decisions                        uint64
+}
+
+// Record admits one decision, evicting the oldest window entry when full,
+// and returns the updated totals.
+func (l *RegretLedger) Record(e RegretEntry) regretTotals {
+	if l == nil {
+		return regretTotals{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		old := l.win[l.next]
+		l.winDef -= old.VsDefault()
+		l.winBest -= old.VsBest()
+	}
+	l.win[l.next] = e
+	l.next++
+	if l.next == len(l.win) {
+		l.next = 0
+		l.full = true
+	}
+	l.decisions++
+	if e.TrueBaseline {
+		l.trueBase++
+	}
+	l.cumDef += e.VsDefault()
+	l.cumBest += e.VsBest()
+	l.winDef += e.VsDefault()
+	l.winBest += e.VsBest()
+	a := l.perArm[e.Arm]
+	if a == nil {
+		a = &ArmRegretStats{Arm: e.Arm}
+		l.perArm[e.Arm] = a
+	}
+	a.Decisions++
+	if e.Censored {
+		a.Censored++
+	}
+	a.ObservedSecs += e.ObservedSecs
+	a.VsDefaultSecs += e.VsDefault()
+	a.VsBestSecs += e.VsBest()
+	return regretTotals{
+		cumDef: l.cumDef, cumBest: l.cumBest,
+		winDef: l.winDef, winBest: l.winBest,
+		decisions: l.decisions,
+	}
+}
+
+// Snapshot copies the ledger's state; window entries come out newest
+// first, per-arm aggregates sorted by arm name.
+func (l *RegretLedger) Snapshot() RegretSnapshot {
+	s := RegretSnapshot{PerArm: []ArmRegretStats{}, Window: []RegretEntry{}}
+	if l == nil {
+		return s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s.Decisions = l.decisions
+	s.TrueBaselineDecisions = l.trueBase
+	s.CumVsDefaultSecs = l.cumDef
+	s.CumVsBestSecs = l.cumBest
+	s.WindowVsDefaultSecs = l.winDef
+	s.WindowVsBestSecs = l.winBest
+	n := l.next
+	if l.full {
+		n = len(l.win)
+	}
+	s.WindowLen = n
+	for i := 1; i <= n; i++ {
+		idx := l.next - i
+		if idx < 0 {
+			idx += len(l.win)
+		}
+		s.Window = append(s.Window, l.win[idx])
+	}
+	for _, a := range l.perArm {
+		s.PerArm = append(s.PerArm, *a)
+	}
+	sort.Slice(s.PerArm, func(i, j int) bool { return s.PerArm[i].Arm < s.PerArm[j].Arm })
+	return s
+}
+
+// driftWindow tracks the median log(observed/predicted) over the last N
+// calibrated decisions — the windowed drift statistic the breaker and a
+// HERO-style confidence gate can read as "how far off is the model right
+// now": 0 means calibrated, positive means systematically optimistic
+// (observed slower than predicted), negative pessimistic.
+type driftWindow struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+func newDriftWindow(n int) *driftWindow {
+	if n < 1 {
+		n = 1
+	}
+	return &driftWindow{buf: make([]float64, n)}
+}
+
+// add records one log-ratio and returns the median over the current
+// window contents.
+func (d *driftWindow) add(logRatio float64) float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf[d.next] = logRatio
+	d.next++
+	if d.next == len(d.buf) {
+		d.next = 0
+		d.full = true
+	}
+	n := d.next
+	if d.full {
+		n = len(d.buf)
+	}
+	tmp := make([]float64, n)
+	if d.full {
+		copy(tmp, d.buf)
+	} else {
+		copy(tmp, d.buf[:n])
+	}
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// finiteMin returns the smallest finite value in xs, falling back to
+// fallback when none is finite.
+func finiteMin(xs []float64, fallback float64) float64 {
+	best := math.Inf(1)
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) && x < best {
+			best = x
+		}
+	}
+	if math.IsInf(best, 1) {
+		return fallback
+	}
+	return best
+}

@@ -22,7 +22,18 @@ type Span struct {
 // one span per loop stage. Traces are built by a single goroutine; the
 // ring buffer copy-on-read makes serving them concurrently safe.
 type Trace struct {
-	ID            uint64    `json:"id"`
+	ID uint64 `json:"id"`
+	// Kind distinguishes synchronous query decisions ("query") from the
+	// async paths traced since the learning loop became observable:
+	// "retrain" (sample→fit→validate→swap) and "checkpoint".
+	Kind string `json:"kind,omitempty"`
+	// RequestID is the HTTP-layer request ID this decision ran under
+	// (minted by the server when the client sent none; empty outside the
+	// serving stack).
+	RequestID string `json:"request_id,omitempty"`
+	// CauseID links an async trace back to the trace ID of the decision
+	// whose observation triggered it (0 = no known trigger).
+	CauseID       uint64    `json:"cause_id,omitempty"`
 	SQL           string    `json:"sql"`
 	Start         time.Time `json:"start"`
 	ArmID         int       `json:"arm_id"`
@@ -55,11 +66,31 @@ func newTrace(sql string) *Trace {
 	now := time.Now()
 	return &Trace{
 		ID:    traceID.Add(1),
+		Kind:  "query",
 		SQL:   sql,
 		Start: now,
 		Spans: make([]Span, 0, 10),
 		start: now,
 	}
+}
+
+// SetRequestID stamps the trace with the request ID it ran under.
+// Nil-safe.
+func (t *Trace) SetRequestID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.RequestID = id
+}
+
+// Cause returns the identity of this trace for linking async work back
+// to it (zero Cause on nil, so untraced decisions produce unlinked async
+// traces rather than branches at every call site).
+func (t *Trace) Cause() Cause {
+	if t == nil {
+		return Cause{}
+	}
+	return Cause{TraceID: t.ID, RequestID: t.RequestID}
 }
 
 // AddSpan appends a stage that began at start and ran for dur. Nil-safe,

@@ -1,0 +1,236 @@
+package baoserver
+
+// Tests for the serving layer's learning-loop observability: request-ID
+// propagation from the HTTP edge through the decision loop, linked
+// retrain/checkpoint traces under load, the live /debug/regret and
+// /debug/events endpoints, and the metrics contract against DESIGN.md §8.
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bao/internal/core"
+	"bao/internal/obs"
+)
+
+func TestRequestIDPropagation(t *testing.T) {
+	s := newTestServer(t, Config{}, nil)
+	base := "http://" + s.Addr()
+
+	// A client-supplied ID is echoed back and stamped on the decision trace.
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query",
+		strings.NewReader(`{"sql": "`+testSQL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Bao-Request-Id", "req-propagate")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Bao-Request-Id"); got != "req-propagate" {
+		t.Fatalf("echoed id = %q, want req-propagate", got)
+	}
+	var found bool
+	for _, tr := range s.o.Traces() {
+		if tr.Kind == "query" && tr.RequestID == "req-propagate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no query trace carries the request id; traces: %+v", s.o.Traces())
+	}
+
+	// Without a client ID the server mints one and echoes it.
+	resp2, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"sql": "`+testSQL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Bao-Request-Id"); len(got) != 16 {
+		t.Fatalf("minted id = %q, want 16 hex chars", got)
+	}
+}
+
+// TestRetrainLinkedTracesUnderLoad drives the query loop over HTTP until
+// the async trainer swaps a model, then resolves the retrain's spans and
+// the checkpoint write from the triggering query's trace — the
+// acceptance path for cross-component trace propagation.
+func TestRetrainLinkedTracesUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{CheckpointDir: dir}, func(cfg *core.Config) {
+		cfg.RetrainEvery = 16
+	})
+	base := "http://" + s.Addr()
+
+	for i := 0; i < 20; i++ {
+		var out struct{ Arm string }
+		if code := postJSON(t, base+"/v1/query", map[string]string{"sql": testSQL}, &out); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+	}
+	waitTrainCount(t, s.bao, 1)
+
+	traces := s.o.Traces()
+	var retrain, checkpoint *obs.Trace
+	byID := map[uint64]*obs.Trace{}
+	for _, tr := range traces {
+		byID[tr.ID] = tr
+		switch tr.Kind {
+		case "retrain":
+			retrain = tr
+		case "checkpoint":
+			checkpoint = tr
+		}
+	}
+	if retrain == nil {
+		t.Fatalf("no retrain trace published; have %d traces", len(traces))
+	}
+	if retrain.CauseID == 0 {
+		t.Fatalf("retrain trace not linked to a cause: %+v", retrain)
+	}
+	// The cause must resolve to a published query decision trace.
+	q := byID[retrain.CauseID]
+	if q == nil || q.Kind != "query" {
+		t.Fatalf("retrain cause %d does not resolve to a query trace", retrain.CauseID)
+	}
+	if retrain.RequestID == "" || q.RequestID != retrain.RequestID {
+		t.Fatalf("request id not propagated: query %q vs retrain %q", q.RequestID, retrain.RequestID)
+	}
+	for _, want := range []string{"sample", "fit", "validate", "swap"} {
+		var seen bool
+		for _, sp := range retrain.Spans {
+			if sp.Name == want {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Fatalf("retrain trace missing span %q: %+v", want, retrain.Spans)
+		}
+	}
+	if checkpoint == nil {
+		t.Fatal("no checkpoint trace published")
+	}
+	if checkpoint.CauseID != retrain.CauseID {
+		t.Fatalf("checkpoint cause %d != retrain cause %d", checkpoint.CauseID, retrain.CauseID)
+	}
+
+	// The regret ledger and event journal serve live data over HTTP.
+	var snap obs.RegretSnapshot
+	if code := getJSON(t, base+"/debug/regret", &snap); code != http.StatusOK {
+		t.Fatalf("/debug/regret status %d", code)
+	}
+	if snap.Decisions < 20 || len(snap.Window) == 0 {
+		t.Fatalf("regret snapshot not live: %+v decisions", snap.Decisions)
+	}
+	var events []obs.Event
+	if code := getJSON(t, base+"/debug/events", &events); code != http.StatusOK {
+		t.Fatalf("/debug/events status %d", code)
+	}
+	var sawSwap, sawCkpt bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.EventSwapAccepted:
+			sawSwap = true
+			if ev.TraceID != retrain.CauseID {
+				t.Fatalf("swap event trace %d != cause %d", ev.TraceID, retrain.CauseID)
+			}
+		case obs.EventCheckpoint:
+			sawCkpt = true
+		}
+	}
+	if !sawSwap || !sawCkpt {
+		t.Fatalf("journal missing swap/checkpoint events: %+v", events)
+	}
+}
+
+// TestEventLogFileSink checks the rotating JSONL sink end to end: a
+// server configured with EventLogPath streams journal events to disk.
+func TestEventLogFileSink(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/events.jsonl"
+	s := newTestServer(t, Config{EventLogPath: path}, func(cfg *core.Config) {
+		cfg.RetrainEvery = 16
+	})
+	base := "http://" + s.Addr()
+	for i := 0; i < 20; i++ {
+		if code := postJSON(t, base+"/v1/query", map[string]string{"sql": testSQL}, nil); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+	}
+	waitTrainCount(t, s.bao, 1)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"kind":"`+obs.EventSwapAccepted+`"`) {
+		t.Fatalf("event log missing swap-accepted:\n%s", buf)
+	}
+}
+
+// metricName extracts `bao_*` metric names from prose/markdown.
+var metricName = regexp.MustCompile(`bao_[a-z0-9_]+`)
+
+// TestMetricsContract is the CI contract between DESIGN.md §8 and the
+// live /metrics endpoint: boot a real server, drive a short workload,
+// scrape, and require every metric the design document names to be
+// present in the exposition (registered metrics emit # TYPE lines even
+// at zero). A metric renamed or dropped without updating the docs —
+// or documented but never registered — fails here.
+func TestMetricsContract(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(design)
+	start := strings.Index(text, "## 8.")
+	end := strings.Index(text, "## 9.")
+	if start < 0 || end < 0 || end <= start {
+		t.Fatal("DESIGN.md §8/§9 markers not found")
+	}
+	names := map[string]bool{}
+	for _, m := range metricName.FindAllString(text[start:end], -1) {
+		names[m] = true
+	}
+	if len(names) < 30 {
+		t.Fatalf("only %d metric names extracted from §8 — did the section move?", len(names))
+	}
+
+	s := newTestServer(t, Config{}, nil)
+	base := "http://" + s.Addr()
+	for i := 0; i < 5; i++ {
+		if code := postJSON(t, base+"/v1/query", map[string]string{"sql": testSQL}, nil); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	var missing []string
+	for name := range names {
+		// Trailing space pins the full name (bao_prediction_ratio must not
+		// match via bao_prediction_ratio_by_arm's TYPE line).
+		if !strings.Contains(metrics, "# TYPE "+name+" ") {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("metrics documented in DESIGN.md §8 but absent from /metrics: %v", missing)
+	}
+}

@@ -62,6 +62,16 @@ type Config struct {
 	// TrainDelay artificially stretches each background retrain (test
 	// hook for asserting the fast path is independent of training).
 	TrainDelay time.Duration
+	// EventLogPath, when set, streams the structured event journal
+	// (model swaps, breaker transitions, checkpoint saves/rollbacks,
+	// censored/abandoned outcomes) to a rotating JSONL file there. The
+	// in-memory journal behind /debug/events is on regardless.
+	EventLogPath string
+	// EventLogMaxBytes rotates the event log past this size (zero means
+	// 4 MiB); EventLogKeep is how many rotated files to retain (zero
+	// means 3).
+	EventLogMaxBytes int64
+	EventLogKeep     int
 }
 
 // Server is the concurrent Bao serving layer: an HTTP/JSON API over one
@@ -89,9 +99,10 @@ type Server struct {
 	order   []uint64                   // FIFO eviction order for pending
 	nextID  uint64
 
-	retrainCh   chan time.Time
+	retrainCh   chan retrainSignal
 	trainerDone chan struct{}
 	shutOnce    sync.Once
+	eventSink   bool // an EventLogPath file sink was attached (closed at shutdown)
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -121,8 +132,19 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 		o:           b.Observer(),
 		admit:       make(chan struct{}, cfg.MaxInFlight),
 		pending:     make(map[uint64]*core.Selection),
-		retrainCh:   make(chan time.Time, 1),
+		retrainCh:   make(chan retrainSignal, 1),
 		trainerDone: make(chan struct{}),
+	}
+	// The serving layer always keeps the /debug endpoints live: decision
+	// traces (with async retrain/checkpoint traces linked to them) and
+	// the structured event journal.
+	s.o.EnableTracing(256)
+	s.o.EnableEvents(512)
+	if cfg.EventLogPath != "" {
+		if err := s.o.Journal().LogTo(cfg.EventLogPath, cfg.EventLogMaxBytes, cfg.EventLogKeep); err != nil {
+			return nil, err
+		}
+		s.eventSink = true
 	}
 	if cfg.LogPath != "" {
 		l, err := OpenExperienceLog(cfg.LogPath, s.o)
@@ -167,6 +189,11 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 		}
 		if rolledBack > 0 {
 			s.o.CheckpointRollbacks.Add(float64(rolledBack))
+			s.o.Emit(obs.Event{
+				Kind:       obs.EventRollback,
+				Detail:     fmt.Sprintf("rolled back past %d corrupt or unloadable generation(s) at startup", rolledBack),
+				Generation: gen,
+			})
 		}
 		if gen > 0 {
 			s.o.ModelGeneration.Set(float64(gen))
@@ -181,19 +208,31 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 func (s *Server) Checkpoints() *guard.CheckpointStore { return s.ckpt }
 
 // saveCheckpoint persists the current model as a new checkpoint
-// generation. Failures are counted, not fatal: the in-memory model keeps
-// serving and the next accepted retrain tries again.
-func (s *Server) saveCheckpoint() {
+// generation, publishing a "checkpoint" trace linked to the decision
+// that triggered the retrain being persisted. Failures are counted and
+// journaled, not fatal: the in-memory model keeps serving and the next
+// accepted retrain tries again.
+func (s *Server) saveCheckpoint(cause obs.Cause) {
 	if s.ckpt == nil || !s.bao.Trained() {
 		return
 	}
+	tr := s.o.StartLinkedTrace("checkpoint", cause)
+	start := time.Now()
 	gen, err := s.ckpt.Save(s.bao.SaveModel)
 	if err != nil {
 		s.o.CheckpointErrors.Inc()
+		s.o.Emit(obs.Event{Kind: obs.EventCheckpointError, Detail: err.Error(),
+			TraceID: cause.TraceID, RequestID: cause.RequestID})
+		tr.AddSpan("checkpoint_write", start, time.Since(start), "error: "+err.Error())
+		s.o.FinishTrace(tr)
 		return
 	}
 	s.o.CheckpointsSaved.Inc()
 	s.o.ModelGeneration.Set(float64(gen))
+	s.o.Emit(obs.Event{Kind: obs.EventCheckpoint, Generation: gen,
+		TraceID: cause.TraceID, RequestID: cause.RequestID})
+	tr.AddSpan("checkpoint_write", start, time.Since(start), fmt.Sprintf("generation=%d", gen))
+	s.o.FinishTrace(tr)
 }
 
 // Bao returns the wrapped optimizer (status inspection; do not drive its
@@ -212,7 +251,15 @@ func (s *Server) Log() *ExperienceLog { return s.log }
 //	POST /v1/model     ← value model to hot-swap in
 //	POST /v1/critical  {"sql": ...} → mark + explore a critical query
 //	GET  /v1/status    → JSON summary
-//	GET  /metrics, /debug/traces → observability (unthrottled)
+//	GET  /metrics, /debug/traces, /debug/regret, /debug/events
+//	                   → observability (unthrottled)
+//
+// Every request runs under a request ID: the client's X-Bao-Request-Id
+// header when present, a minted one otherwise. The ID is echoed on the
+// response, threaded through the request context into
+// select → plan → execute → observe, and stamped on the decision trace,
+// so one query is resolvable across /debug/traces, /debug/regret,
+// /debug/events, and histogram exemplars.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/select", s.admitted(s.handleSelect))
@@ -221,8 +268,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/model", s.admitted(s.handleModel))
 	mux.HandleFunc("/v1/critical", s.admitted(s.handleCritical))
 	mux.HandleFunc("/v1/status", s.handleStatus)
-	mux.Handle("/", obs.Handler(s.o)) // /metrics and /debug/traces
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
+	mux.Handle("/", obs.Handler(s.o)) // /metrics and /debug/*
+	// Request-ID middleware wraps outermost so the ID survives the
+	// TimeoutHandler's context replacement and reaches every handler.
+	return withRequestID(http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n"))
+}
+
+// requestIDHeader carries the client-supplied (or server-minted) request
+// ID on both request and response.
+const requestIDHeader = "X-Bao-Request-Id"
+
+// withRequestID accepts or mints a request ID, echoes it on the
+// response, and threads it through the request context so the decision
+// trace and every event caused by this request carry it.
+func withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = obs.MintRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		h.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
 }
 
 // Start binds addr (":0" picks a free port) and serves in a goroutine.
@@ -285,6 +352,11 @@ func (s *Server) shutdown(ctx context.Context) error {
 	if err := s.closeLog(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	if s.eventSink {
+		if err := s.o.Journal().Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
@@ -338,10 +410,11 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.o.ServeInFlight.Set(float64(len(s.admit)))
 		start := time.Now()
+		reqID := obs.RequestIDFrom(r.Context())
 		defer func() {
 			<-s.admit
 			s.o.ServeInFlight.Set(float64(len(s.admit)))
-			s.o.ServeSeconds.Observe(time.Since(start).Seconds())
+			s.o.ServeSeconds.ObserveEx(time.Since(start).Seconds(), 0, reqID)
 		}()
 		h(w, r)
 	}
@@ -614,7 +687,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		}
 		// An uploaded model is an accepted model: checkpoint it so a
 		// restart resumes from it, not from the last retrain.
-		s.saveCheckpoint()
+		s.saveCheckpoint(obs.Cause{RequestID: obs.RequestIDFrom(r.Context())})
 		writeJSON(w, map[string]any{"loaded": true, "train_count": s.bao.TrainCount()})
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
