@@ -11,11 +11,13 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"bao"
 	"bao/internal/model"
 	"bao/internal/nn"
+	"bao/internal/obs"
 	"bao/internal/workload"
 )
 
@@ -89,8 +91,9 @@ func BenchmarkSelect(b *testing.B) {
 	if err := inst.Setup(eng); err != nil {
 		b.Fatal(err)
 	}
-	// Train one model, then share it across the variants so both measure
-	// the identical dedup → featurize → predict path minus dedup.
+	// Train one model, then share it across the variants so each measures
+	// the identical Select path minus the feature under test: plan dedup
+	// (on/off) and the query-fingerprint plan cache (repeat-shape hits).
 	cfg := bao.FastConfig()
 	cfg.RetrainEvery = 25
 	cfg.Train.MaxEpochs = 10
@@ -108,10 +111,13 @@ func BenchmarkSelect(b *testing.B) {
 	for _, v := range []struct {
 		name    string
 		noDedup bool
-	}{{"dedup", false}, {"nodedup", true}} {
+		cache   bool
+	}{{"dedup", false, false}, {"nodedup", true, false}, {"plancache", false, true}} {
 		b.Run(v.name, func(b *testing.B) {
 			c := bao.FastConfig()
 			c.NoPlanDedup = v.noDedup
+			c.PlanCache = v.cache
+			c.Observer = obs.NewObserver(obs.NewRegistry(), nil)
 			o := bao.New(eng, c)
 			if err := o.LoadModel(bytes.NewReader(saved.Bytes())); err != nil {
 				b.Fatal(err)
@@ -123,7 +129,7 @@ func BenchmarkSelect(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			recordBench(b, 0)
+			recordBenchCache(b, 0, runtime.GOMAXPROCS(0), cacheHitRate(c.Observer))
 		})
 	}
 }

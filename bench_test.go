@@ -43,6 +43,11 @@ type benchRow struct {
 	// Predict, ServerQuery) can only show wall-clock speedups when the
 	// machine's GOMAXPROCS also exceeds 1.
 	Cores int `json:"cores"`
+	// CacheHitRate is the plan-cache hit fraction over the run for
+	// server-loop benchmarks (always serialized, so a cache-off row shows
+	// an explicit 0 and the cache-on/off qps pairs are auditable from this
+	// file alone).
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 var benchResults struct {
@@ -63,19 +68,36 @@ func recordBench(b *testing.B, queriesPerIter int) {
 // count, not the machine-wide GOMAXPROCS, so a workers=1 row is
 // distinguishable from a workers=4 row in BENCH_results.json.
 func recordBenchWorkers(b *testing.B, queriesPerIter, workers int) {
+	recordBenchCache(b, queriesPerIter, workers, 0)
+}
+
+// recordBenchCache additionally stamps the plan-cache hit fraction
+// observed over the run, pairing every qps number with the cache
+// behavior that produced it.
+func recordBenchCache(b *testing.B, queriesPerIter, workers int, hitRate float64) {
 	b.Helper()
 	elapsed := b.Elapsed()
 	if b.N == 0 || elapsed <= 0 {
 		return
 	}
 	row := benchRow{Name: b.Name(), NsPerOp: float64(elapsed.Nanoseconds()) / float64(b.N),
-		Cores: workers}
+		Cores: workers, CacheHitRate: hitRate}
 	if queriesPerIter > 0 {
 		row.QueriesPerSec = float64(queriesPerIter*b.N) / elapsed.Seconds()
 	}
 	benchResults.mu.Lock()
 	benchResults.rows = append(benchResults.rows, row)
 	benchResults.mu.Unlock()
+}
+
+// cacheHitRate reads the plan-cache hit fraction from an observer's
+// counters (0 when the cache never engaged).
+func cacheHitRate(o *bao.Observer) float64 {
+	hits, misses := o.PlanCacheHits.Value(), o.PlanCacheMisses.Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return hits / (hits + misses)
 }
 
 // TestMain writes BENCH_results.json when any benchmarks ran, merging
@@ -346,9 +368,113 @@ func benchServer(b *testing.B, clients int) {
 	if res.StatusCode != http.StatusOK {
 		b.Fatalf("/debug/events status %d", res.StatusCode)
 	}
-	recordBenchWorkers(b, benchServerQueries, clients)
+	recordBenchCache(b, benchServerQueries, clients, cacheHitRate(cfg.Observer))
 }
 
 func BenchmarkServerQuerySequential(b *testing.B) { benchServer(b, 1) }
 
 func BenchmarkServerQueryConcurrent(b *testing.B) { benchServer(b, 8) }
+
+// benchSelectRepeated measures the selection fast path under a
+// repeated-shape workload: a trained server answering POST /v1/select for
+// a small rotating set of query shapes from concurrent clients — the
+// regime the plan cache and the cross-request inference batcher target.
+// No observes are sent during measurement, so the model (and therefore
+// the cache) stays fixed; the cache=off/cache=on qps pair in
+// BENCH_results.json is the speedup claim, with the hit rate alongside.
+func benchSelectRepeated(b *testing.B, cache bool) {
+	b.Helper()
+	inst := workload.IMDb(workload.Config{Scale: 0.06, Queries: 60, Seed: 42})
+	eng := bao.NewEngine(bao.GradePostgreSQL, 2000)
+	if err := inst.Setup(eng); err != nil {
+		b.Fatal(err)
+	}
+	cfg := bao.FastConfig() // full arm family: the per-select planning cost the cache elides
+	cfg.RetrainEvery = 25
+	cfg.Train.MaxEpochs = 10
+	cfg.Observer = obs.NewObserver(obs.NewRegistry(), nil)
+	if cache {
+		cfg.PlanCache = true
+		cfg.PlanCacheSize = 512
+		cfg.InferBatch = 64
+	}
+	opt := bao.New(eng, cfg)
+	// Train in place so measured selections run the model-guided path; the
+	// final retrain flushes anything cached during training.
+	for _, q := range inst.Queries {
+		if _, _, err := opt.Run(q.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !opt.Trained() {
+		b.Fatal("warm-up stream left the model untrained")
+	}
+	srv, err := bao.Serve(opt, "127.0.0.1:0", bao.ServerConfig{MaxInFlight: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // benchmark teardown
+	}()
+	base := "http://" + srv.Addr()
+	shapes := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, q := range inst.Queries {
+		if !seen[q.SQL] {
+			seen[q.SQL] = true
+			shapes = append(shapes, q.SQL)
+		}
+		if len(shapes) == 8 {
+			break
+		}
+	}
+	post := func(sql string) error {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(base+"/v1/select", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	const clients = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for r := 0; r < benchServerQueries/clients; r++ {
+					if err := post(shapes[(c+r)%len(shapes)]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	selects := (benchServerQueries / clients) * clients
+	recordBenchCache(b, selects, clients, cacheHitRate(cfg.Observer))
+}
+
+// BenchmarkServerQueryConcurrentRepeated is the plan-cache acceptance
+// benchmark: the same repeated-shape serving workload with the cache and
+// inference batcher off, then on.
+func BenchmarkServerQueryConcurrentRepeated(b *testing.B) {
+	b.Run("cache=off", func(b *testing.B) { benchSelectRepeated(b, false) })
+	b.Run("cache=on", func(b *testing.B) { benchSelectRepeated(b, true) })
+}

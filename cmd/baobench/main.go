@@ -28,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	planCache := flag.Bool("plan-cache", false, "cache planned arm sets and featurized tensors per query fingerprint")
+	inferBatch := flag.Int("infer-batch", 0, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; over-budget queries clamp to it as censored observations (0 = off)")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address while experiments run")
 	flag.Parse()
@@ -44,6 +46,7 @@ func main() {
 
 	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed,
 		Workers: *workers, ParallelPlanning: *parallelPlanning,
+		PlanCache: *planCache, InferBatch: *inferBatch,
 		QueryTimeout: *queryTimeout, Out: os.Stdout}
 	s := harness.NewSession(opts)
 

@@ -10,6 +10,7 @@
 //	          [-explog bao.explog] [-model bao.model] [-train 0]
 //	          [-max-inflight 64] [-timeout 30s] [-query-timeout 0]
 //	          [-workers N] [-parallel-planning]
+//	          [-plan-cache=true] [-plan-cache-size 512] [-infer-batch 64]
 //	          [-checkpoint-dir DIR] [-checkpoint-keep 5] [-guard=true]
 //
 // Endpoints (see internal/server):
@@ -51,6 +52,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out queries return 504 and record a censored experience (0 = off)")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	planCache := flag.Bool("plan-cache", true, "cache planned arm sets and featurized tensors per query fingerprint (invalidated on retrain, DDL, and ANALYZE)")
+	planCacheSize := flag.Int("plan-cache-size", 512, "plan-cache entry bound (the byte bound is fixed at 64 MiB)")
+	inferBatch := flag.Int("infer-batch", 64, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "versioned model checkpoint directory (rolls back past corrupt generations on startup)")
 	ckptKeep := flag.Int("checkpoint-keep", 0, "checkpoint generations to retain (0 = default 5)")
 	guardOn := flag.Bool("guard", true, "enable the model-quality guardrails: validation-gated hot-swap and the default-plan circuit breaker")
@@ -69,6 +73,9 @@ func main() {
 	cfg := bao.FastConfig()
 	cfg.Workers = *workers
 	cfg.ParallelPlanning = *parallelPlanning
+	cfg.PlanCache = *planCache
+	cfg.PlanCacheSize = *planCacheSize
+	cfg.InferBatch = *inferBatch
 	if *guardOn {
 		cfg.Breaker = bao.BreakerConfig{Enabled: true}
 		cfg.Validate = bao.ValidateConfig{Enabled: true}

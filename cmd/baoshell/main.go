@@ -41,6 +41,8 @@ func main() {
 	train := flag.Int("train", 0, "pre-train Bao on this many workload queries")
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
+	planCache := flag.Bool("plan-cache", false, "cache planned arm sets and featurized tensors per query fingerprint")
+	inferBatch := flag.Int("infer-batch", 0, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out Bao queries record censored experiences (0 = off)")
 	guardOn := flag.Bool("guard", false, "enable Bao's guardrails: validation-gated hot-swap and the default-plan circuit breaker")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
@@ -67,6 +69,8 @@ func main() {
 	cfg := bao.FastConfig()
 	cfg.Workers = *workers
 	cfg.ParallelPlanning = *parallelPlanning
+	cfg.PlanCache = *planCache
+	cfg.InferBatch = *inferBatch
 	if *guardOn {
 		cfg.Breaker = bao.BreakerConfig{Enabled: true}
 		cfg.Validate = bao.ValidateConfig{Enabled: true}

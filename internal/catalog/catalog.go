@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Type is a column type. The synthetic workloads use integers for keys and
@@ -97,6 +98,11 @@ type Schema struct {
 	tables  map[string]*Table
 	indexes map[string][]Index // by table (lower-case)
 	fks     []ForeignKey
+	// version counts DDL mutations (AddTable, DropTable, AddIndex).
+	// Caches keyed on schema shape — e.g. the plan cache, whose stored
+	// plans embed index choices — compare it to detect staleness without
+	// diffing the catalog.
+	version atomic.Uint64
 }
 
 // NewSchema returns an empty schema.
@@ -109,6 +115,7 @@ func NewSchema() *Schema {
 func (s *Schema) AddTable(t *Table) {
 	key := strings.ToLower(t.Name)
 	s.tables[key] = t
+	s.version.Add(1)
 }
 
 // DropTable removes a table and its indexes.
@@ -116,7 +123,13 @@ func (s *Schema) DropTable(name string) {
 	key := strings.ToLower(name)
 	delete(s.tables, key)
 	delete(s.indexes, key)
+	s.version.Add(1)
 }
+
+// Version returns the DDL mutation counter: it advances on every
+// AddTable, DropTable, and AddIndex, so two equal readings bracket a
+// schema that did not change shape in between.
+func (s *Schema) Version() uint64 { return s.version.Load() }
 
 // Table looks up a table schema by name (case-insensitive).
 func (s *Schema) Table(name string) (*Table, bool) {
@@ -146,6 +159,7 @@ func (s *Schema) AddIndex(ix Index) error {
 	}
 	key := strings.ToLower(ix.Table)
 	s.indexes[key] = append(s.indexes[key], ix)
+	s.version.Add(1)
 	return nil
 }
 

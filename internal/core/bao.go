@@ -96,6 +96,31 @@ type Config struct {
 	// hint sets collapse to a handful of distinct plans). Exists for
 	// benchmarks and ablation; selections are identical either way.
 	NoPlanDedup bool
+	// PlanCache enables the query-fingerprint plan cache: the per-shape
+	// work of a selection — planned arm set, dedup groups, featurized
+	// tensors, and predictions — is cached keyed by (query fingerprint,
+	// model version, catalog version, statistics epoch), so a repeated
+	// query shape costs one lookup plus the argmin instead of 49 planner
+	// invocations and a forward pass. Entries invalidate lazily on any DDL
+	// (catalog version), ANALYZE (statistics epoch), and eagerly on model
+	// publication (retrain hot-swap or checkpoint restore). Cached and
+	// uncached selections are byte-identical at any worker count. Off by
+	// default (the cmd layer turns it on for serving); ignored when
+	// NoPlanDedup is set.
+	PlanCache bool
+	// PlanCacheSize bounds the cache's entry count (0 = 512). The cache is
+	// additionally bounded by PlanCacheBytes (0 = 64 MiB), the approximate
+	// resident bytes of the cached tensors; the LRU evicts until both
+	// bounds hold.
+	PlanCacheSize  int
+	PlanCacheBytes int64
+	// InferBatch, when positive, coalesces concurrent predictions against
+	// the same model into shared forward passes bounded by this many trees
+	// (cross-request micro-batching; see nn.Batcher). Zero disables
+	// batching. The first caller per model runs immediately — no gather
+	// timer — so low-concurrency latency is unchanged, and per-tree
+	// independence keeps batched predictions byte-identical to unbatched.
+	InferBatch int
 	// Breaker configures the default-plan circuit breaker: when the
 	// learned path repeatedly regresses against the default arm, a
 	// planner worker panics, or predictions go degenerate, Select serves
@@ -258,6 +283,20 @@ type Bao struct {
 	warmupArms  []int // Cfg.Arms indices selectable during warm-up
 	rng         *rand.Rand
 	observer    *obs.Observer
+	// modelVersion counts model publications (accepted retrains, inline
+	// retrains, checkpoint restores). Cached predictions are tagged with
+	// the version they were computed under and a mismatch forces a fresh
+	// forward pass, so a selection can never serve a superseded model's
+	// predictions out of the plan cache.
+	modelVersion uint64
+
+	// pcache is the query-fingerprint plan cache; nil unless
+	// Cfg.PlanCache. It has its own lock (never held together with mu
+	// except briefly inside model-publication flushes, b.mu → pcache.mu).
+	pcache *planCache
+	// batcher coalesces concurrent TCNN forward passes; nil unless
+	// Cfg.InferBatch > 0.
+	batcher *nn.Batcher
 
 	// breaker is the default-plan circuit breaker; nil unless
 	// Cfg.Breaker.Enabled (every guard call is nil-safe).
@@ -327,6 +366,16 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 				Decision: t.Decision,
 			})
 		})
+	}
+	if cfg.PlanCache && !cfg.NoPlanDedup {
+		b.pcache = newPlanCache(cfg.PlanCacheSize, cfg.PlanCacheBytes, b.observer)
+	}
+	if cfg.InferBatch > 0 {
+		o := b.observer
+		b.batcher = nn.NewBatcher(cfg.InferBatch)
+		b.batcher.OnBatch = func(trees, calls int) {
+			o.InferBatchSize.Observe(float64(trees))
+		}
 	}
 	if cfg.NewModel != nil {
 		b.Model = cfg.NewModel()
@@ -486,6 +535,7 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	b.mu.RLock()
 	trained := b.trained
 	mdl := b.Model
+	mver := b.modelVersion
 	warm := b.warmupActiveLocked()
 	candidates := b.selectableArmsLocked()
 	windowLen := len(b.exp)
@@ -513,98 +563,183 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 	if b.Cfg.ParallelPlanning {
 		workers = b.planArmWorkers()
 	}
-	degraded := false
-	if workers > 1 {
-		var err error
-		degraded, err = b.planArmsParallel(ctx, q, sel, workers)
-		if err != nil {
-			return nil, err
+	// Plan-cache lookup: when the cache is on, the fingerprint chain is
+	// consulted before any planner runs. The epochs are snapshotted here —
+	// a concurrent DDL/ANALYZE landing after this point at worst tags a
+	// stored entry with a superseded epoch, which the next lookup drops.
+	var (
+		cacheFP    uint64
+		cacheCanon string
+		schemaVer  uint64
+		statsEp    uint64
+		hitEntry   *planCacheEntry
+		hitVariant *cacheVariant // set when cached tensors were reused verbatim
+		verdict    string
+	)
+	if b.pcache != nil {
+		schemaVer = b.Eng.CatalogVersion()
+		statsEp = b.Eng.StatsEpoch()
+		cacheFP = queryFingerprint(q.Stmt)
+		cacheCanon = q.Stmt.String()
+		hitEntry = b.pcache.get(cacheFP, cacheCanon, schemaVer, statsEp)
+	}
+	var (
+		armGroup  []int
+		groupFP   []uint64
+		uniq      []*planner.Node // representative plan per dedup group
+		uniqTrees []*nn.Tree
+	)
+	planDone := parseDone
+	if hitEntry != nil {
+		// Hit: reuse the planned arm set and dedup groups outright; reuse
+		// the tensors too unless buffer-pool residency drifted since they
+		// were featurized (the one plan-independent feature input).
+		o.PlanCacheHits.Inc()
+		verdict = "hit"
+		sel.Plans = hitEntry.plans
+		sel.Candidates = hitEntry.cands
+		armGroup, groupFP, uniq = hitEntry.armGroup, hitEntry.groupFP, hitEntry.uniq
+		sel.UniquePlans = len(groupFP)
+		v := hitEntry.variant
+		if floatsEqual(b.Feat.residencyFromPlans(uniq), v.resSig) {
+			uniqTrees = v.trees
+			hitVariant = v
+		} else {
+			verdict = "hit-refeaturize"
+			uniqTrees = make([]*nn.Tree, len(uniq))
+			for g, p := range uniq {
+				uniqTrees[g] = b.Feat.Vectorize(p)
+			}
+		}
+		for i, g := range armGroup {
+			sel.Trees[i] = uniqTrees[g]
+		}
+		planDone = time.Now()
+		if tr != nil {
+			tr.Workers = workers
+			tr.UniquePlans = sel.UniquePlans
+			tr.AddSpan("plancache", parseDone, planDone.Sub(parseDone), verdict)
 		}
 	} else {
-		// A private optimizer (not the engine's shared one) keeps the
-		// serial path safe under concurrent Selects: the schema and
-		// statistics it reads are immutable between queries, but the
-		// optimizer itself carries per-plan scratch (LastCandidates).
-		opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
-			Sampling: b.Eng.Grade() == engine.GradeComSys}
-		for i := range b.Cfg.Arms {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: select cancelled: %w", err)
-			}
-			n, cands, err := b.planArm(opt, q, i)
+		degraded := false
+		if workers > 1 {
+			var err error
+			degraded, err = b.planArmsParallel(ctx, q, sel, workers)
 			if err != nil {
-				if i != 0 && errors.Is(err, errPlannerPanic) {
-					degraded = true
-					continue
-				}
 				return nil, err
 			}
-			sel.Plans[i] = n
-			sel.Candidates[i] = cands
+		} else {
+			// A private optimizer (not the engine's shared one) keeps the
+			// serial path safe under concurrent Selects: the schema and
+			// statistics it reads are immutable between queries, but the
+			// optimizer itself carries per-plan scratch (LastCandidates).
+			opt := &planner.Optimizer{Schema: b.Eng.Schema, Stats: b.Eng,
+				Sampling: b.Eng.Grade() == engine.GradeComSys}
+			for i := range b.Cfg.Arms {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("core: select cancelled: %w", err)
+				}
+				n, cands, err := b.planArm(opt, q, i)
+				if err != nil {
+					if i != 0 && errors.Is(err, errPlannerPanic) {
+						degraded = true
+						continue
+					}
+					return nil, err
+				}
+				sel.Plans[i] = n
+				sel.Candidates[i] = cands
+			}
 		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: select cancelled: %w", err)
-	}
-	planDone := time.Now()
-	o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
-	if degraded {
-		// A hint-set planner panicked (and the breaker tripped), but the
-		// default arm planned fine: this query degrades to the default
-		// plan instead of failing.
-		o.BreakerDefault.Inc()
-		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone), "planner panic: degraded to default arm")
-		return b.finishDefault(sel, selStart, planDone, warm, windowLen, "planner-panic")
-	}
-	// Deduplicate before featurizing: hint sets routinely collapse to the
-	// same physical plan, and identical plans featurize to identical trees
-	// and predictions, so each distinct plan is vectorized and inferred
-	// exactly once and the result fanned back out per arm.
-	var armGroup []int
-	if b.Cfg.NoPlanDedup {
-		armGroup = make([]int, len(sel.Plans))
-		for i := range armGroup {
-			armGroup[i] = i
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: select cancelled: %w", err)
 		}
-		sel.UniquePlans = len(sel.Plans)
-	} else {
-		armGroup, sel.UniquePlans = dedupPlans(sel.Plans)
-	}
-	o.PlansDeduped.Add(float64(len(sel.Plans) - sel.UniquePlans))
-	uniqTrees := make([]*nn.Tree, sel.UniquePlans)
-	for i, g := range armGroup {
-		if uniqTrees[g] == nil {
-			uniqTrees[g] = b.Feat.Vectorize(sel.Plans[i])
+		planDone = time.Now()
+		o.PlanSeconds.Observe(planDone.Sub(parseDone).Seconds())
+		if degraded {
+			// A hint-set planner panicked (and the breaker tripped), but the
+			// default arm planned fine: this query degrades to the default
+			// plan instead of failing.
+			o.BreakerDefault.Inc()
+			tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone), "planner panic: degraded to default arm")
+			return b.finishDefault(sel, selStart, planDone, warm, windowLen, "planner-panic")
 		}
-		sel.Trees[i] = uniqTrees[g]
-	}
-	featDone := time.Now()
-	o.FeatSeconds.Observe(featDone.Sub(planDone).Seconds())
-	if tr != nil {
-		tr.Workers = workers
-		tr.UniquePlans = sel.UniquePlans
-		tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone),
-			fmt.Sprintf("arms=%d parallel=%v workers=%d", len(b.Cfg.Arms), b.Cfg.ParallelPlanning, workers))
-		tr.AddSpan("featurize", planDone, featDone.Sub(planDone),
-			fmt.Sprintf("unique=%d deduped=%d", sel.UniquePlans, len(sel.Plans)-sel.UniquePlans))
+		// Deduplicate before featurizing: hint sets routinely collapse to the
+		// same physical plan, and identical plans featurize to identical trees
+		// and predictions, so each distinct plan is vectorized and inferred
+		// exactly once and the result fanned back out per arm.
+		if b.Cfg.NoPlanDedup {
+			armGroup = make([]int, len(sel.Plans))
+			for i := range armGroup {
+				armGroup[i] = i
+			}
+			sel.UniquePlans = len(sel.Plans)
+		} else {
+			armGroup, groupFP = dedupPlans(sel.Plans)
+			sel.UniquePlans = len(groupFP)
+		}
+		o.PlansDeduped.Add(float64(len(sel.Plans) - sel.UniquePlans))
+		uniqTrees = make([]*nn.Tree, sel.UniquePlans)
+		uniq = make([]*planner.Node, sel.UniquePlans)
+		for i, g := range armGroup {
+			if uniqTrees[g] == nil {
+				uniqTrees[g] = b.Feat.Vectorize(sel.Plans[i])
+				uniq[g] = sel.Plans[i]
+			}
+			sel.Trees[i] = uniqTrees[g]
+		}
+		featDone := time.Now()
+		o.FeatSeconds.Observe(featDone.Sub(planDone).Seconds())
+		if b.pcache != nil {
+			o.PlanCacheMisses.Inc()
+			verdict = "miss"
+		}
+		if tr != nil {
+			tr.Workers = workers
+			tr.UniquePlans = sel.UniquePlans
+			tr.AddSpan("plan_arms", parseDone, planDone.Sub(parseDone),
+				fmt.Sprintf("arms=%d parallel=%v workers=%d", len(b.Cfg.Arms), b.Cfg.ParallelPlanning, workers))
+			tr.AddSpan("featurize", planDone, featDone.Sub(planDone),
+				fmt.Sprintf("unique=%d deduped=%d", sel.UniquePlans, len(sel.Plans)-sel.UniquePlans))
+		}
 	}
 	breakerNote := ""
+	// freshPreds/freshFinite record a forward pass made by THIS call (as
+	// opposed to predictions served out of the cache), which is what the
+	// cache write-back below publishes.
+	var freshPreds []float64
+	freshFinite := -1
 	if trained {
 		inferStart := time.Now()
-		uniqPreds := mdl.Predict(uniqTrees)
-		// Clamp non-finite predictions: one NaN must not poison the argmin
-		// (every comparison against NaN is false), so a degenerate arm is
-		// priced at +infinity-in-practice and loses to any finite one. If
-		// NO prediction is finite the model has nothing usable to say —
-		// trip the breaker and serve the default arm.
+		var uniqPreds []float64
 		finite := 0
-		for i, p := range uniqPreds {
-			if math.IsNaN(p) || math.IsInf(p, 0) {
-				o.NonFinitePreds.Inc()
-				uniqPreds[i] = math.MaxFloat64
-			} else {
-				finite++
+		if hitVariant != nil && hitVariant.preds != nil && hitVariant.predsVer == mver {
+			// Full hit: these exact tensors were already predicted under
+			// this model version — skip inference entirely. Versions are
+			// bumped precisely when a model is published, so an equal
+			// version implies the same model instance and the cached
+			// predictions are byte-identical to a fresh pass.
+			uniqPreds = hitVariant.preds
+			finite = hitVariant.finite
+		} else {
+			if verdict == "hit" {
+				verdict = "hit-repredict" // tensors reused, model moved on
 			}
+			uniqPreds = b.predictTrees(mdl, uniqTrees)
+			// Clamp non-finite predictions: one NaN must not poison the argmin
+			// (every comparison against NaN is false), so a degenerate arm is
+			// priced at +infinity-in-practice and loses to any finite one. If
+			// NO prediction is finite the model has nothing usable to say —
+			// trip the breaker and serve the default arm.
+			for i, p := range uniqPreds {
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					o.NonFinitePreds.Inc()
+					uniqPreds[i] = math.MaxFloat64
+				} else {
+					finite++
+				}
+			}
+			freshPreds, freshFinite = uniqPreds, finite
 		}
 		sel.Preds = make([]float64, len(armGroup))
 		for i, g := range armGroup {
@@ -621,6 +756,8 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 			trained = false
 		}
 	}
+	b.storeCacheEntry(hitEntry, hitVariant, cacheFP, cacheCanon, schemaVer, statsEp,
+		sel, armGroup, groupFP, uniq, uniqTrees, freshPreds, freshFinite, mver)
 	if trained {
 		pickStart := time.Now()
 		// Cost-sanity guard: drop arms whose plan the traditional optimizer
@@ -672,11 +809,73 @@ func (b *Bao) SelectCtx(ctx context.Context, sql string) (*Selection, error) {
 		tr.WarmUp = warm
 		tr.WindowSize = windowLen
 		tr.Breaker = breakerNote
+		tr.Cache = verdict
 		if sel.Preds != nil {
 			tr.PredictedSecs = sel.Preds[sel.ArmID]
 		}
 	}
 	return sel, nil
+}
+
+// predictTrees runs a forward pass over trees, coalescing with concurrent
+// selections through the micro-batcher when one is configured and the
+// model is the batchable TCNN. The batch key is the model instance, so
+// selections that snapshotted different models — e.g. across a hot-swap —
+// never share a pass.
+func (b *Bao) predictTrees(mdl model.Model, trees []*nn.Tree) []float64 {
+	if b.batcher != nil {
+		if tm, ok := mdl.(*model.TCNNModel); ok {
+			return b.batcher.Predict(tm, tm.Predict, trees)
+		}
+	}
+	return mdl.Predict(trees)
+}
+
+// storeCacheEntry publishes this selection's reusable work into the plan
+// cache: a miss stores the whole entry; a hit that had to refeaturize or
+// re-predict refreshes the entry's variant. Degenerate predictions
+// (freshFinite == 0) are never cached — the entry keeps its plans but no
+// predictions, so the next repeat re-predicts. No-op when the cache is
+// off or the arm set wasn't fully planned (groupFP nil).
+func (b *Bao) storeCacheEntry(hitEntry *planCacheEntry, hitVariant *cacheVariant,
+	fp uint64, canon string, schemaVer, statsEp uint64,
+	sel *Selection, armGroup []int, groupFP []uint64, uniq []*planner.Node,
+	uniqTrees []*nn.Tree, freshPreds []float64, freshFinite int, mver uint64) {
+	if b.pcache == nil || groupFP == nil {
+		return
+	}
+	if hitEntry != nil && hitVariant != nil && freshPreds == nil {
+		return // full hit: nothing newer than what is already cached
+	}
+	v := &cacheVariant{predsVer: mver}
+	if hitVariant != nil {
+		// Tensors were reused; only the predictions are new.
+		v.resSig, v.trees = hitVariant.resSig, hitVariant.trees
+	} else {
+		v.trees = uniqTrees
+		if b.Feat.CacheFrac != nil {
+			v.resSig = residencyFromTrees(uniqTrees)
+		}
+	}
+	if freshFinite > 0 {
+		v.preds, v.finite = freshPreds, freshFinite
+	}
+	if hitEntry != nil {
+		b.pcache.replaceVariant(hitEntry, v)
+		return
+	}
+	b.pcache.put(&planCacheEntry{
+		fp:         fp,
+		canon:      canon,
+		schemaVer:  schemaVer,
+		statsEpoch: statsEp,
+		plans:      sel.Plans,
+		cands:      sel.Candidates,
+		armGroup:   armGroup,
+		groupFP:    groupFP,
+		uniq:       uniq,
+		variant:    v,
+	})
 }
 
 // finishDefault completes a selection the guard degraded to the default
@@ -1293,6 +1492,7 @@ func (b *Bao) trainingSampleLocked() (trees []*nn.Tree, secs []float64, valTrees
 func (b *Bao) finishRetrainLocked(m model.Model, samples, epochs int, wall float64) {
 	b.trained = true
 	b.trainCount++
+	b.publishModelLocked()
 	b.TrainEvents = append(b.TrainEvents, TrainEvent{
 		AtQuery:       b.queriesSeen,
 		Samples:       samples,
@@ -1606,8 +1806,46 @@ func (b *Bao) LoadModel(r io.Reader) error {
 	b.Model = fresh
 	b.trained = true
 	b.trainCount = maxInt(b.trainCount, b.Cfg.ArmWarmup)
+	b.publishModelLocked()
 	b.mu.Unlock()
 	return nil
+}
+
+// publishModelLocked records that a new set of model weights became
+// visible to selections (accepted or inline retrain, checkpoint restore):
+// the model version advances, which retires every cached prediction, and
+// the plan cache is flushed eagerly so a generation bump invalidates
+// rather than merely bypasses. Callers hold b.mu.
+func (b *Bao) publishModelLocked() {
+	b.modelVersion++
+	if b.pcache != nil {
+		b.pcache.flush()
+	}
+}
+
+// ModelVersion returns the count of model publications so far (0 before
+// the first retrain or restore). Cached predictions are keyed on it; the
+// serving layer's bao_model_generation gauge moves in lockstep.
+func (b *Bao) ModelVersion() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.modelVersion
+}
+
+// PlanCacheStats returns the plan cache's resident entry count and
+// approximate bytes (zeros when the cache is disabled).
+func (b *Bao) PlanCacheStats() (entries int, bytes int64) {
+	if b.pcache == nil {
+		return 0, 0
+	}
+	return b.pcache.stats()
+}
+
+// FlushPlanCache drops every plan-cache entry. No-op when disabled.
+func (b *Bao) FlushPlanCache() {
+	if b.pcache != nil {
+		b.pcache.flush()
+	}
 }
 
 // MarkCritical registers a query for triggered exploration.

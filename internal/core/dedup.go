@@ -44,21 +44,24 @@ func planFingerprint(root *planner.Node) uint64 {
 
 // dedupPlans groups the per-arm plans by fingerprint. It returns, for each
 // arm, the index of its group's representative plan in order of first
-// appearance, plus the group count. Arm i's plan is a duplicate iff
-// armGroup[i] != position of a first appearance; arm 0's plan is always
-// group 0.
-func dedupPlans(plans []*planner.Node) (armGroup []int, groups int) {
+// appearance, plus each group's fingerprint (so len(groupFP) is the group
+// count and groupFP[armGroup[i]] is arm i's plan hash — the shape cache
+// stores these instead of re-hashing every plan on a repeat query). Arm
+// i's plan is a duplicate iff armGroup[i] != position of a first
+// appearance; arm 0's plan is always group 0.
+func dedupPlans(plans []*planner.Node) (armGroup []int, groupFP []uint64) {
 	armGroup = make([]int, len(plans))
+	groupFP = make([]uint64, 0, len(plans))
 	seen := make(map[uint64]int, len(plans))
 	for i, p := range plans {
 		fp := planFingerprint(p)
 		g, ok := seen[fp]
 		if !ok {
-			g = groups
-			groups++
+			g = len(groupFP)
+			groupFP = append(groupFP, fp)
 			seen[fp] = g
 		}
 		armGroup[i] = g
 	}
-	return armGroup, groups
+	return armGroup, groupFP
 }

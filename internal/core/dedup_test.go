@@ -64,15 +64,24 @@ func TestDedupPlansGroups(t *testing.T) {
 	s1 := &planner.Node{Op: planner.OpSeqScan, Table: "title", EstRows: 5, EstCost: 5}
 	s2 := &planner.Node{Op: planner.OpSeqScan, Table: "title", EstRows: 5, EstCost: 5}
 	s3 := &planner.Node{Op: planner.OpIndexScan, Table: "title", EstRows: 5, EstCost: 2}
-	groupOf, groups := dedupPlans([]*planner.Node{s1, s2, s3, s1})
-	if groups != 2 {
-		t.Fatalf("groups = %d, want 2", groups)
+	groupOf, groupFP := dedupPlans([]*planner.Node{s1, s2, s3, s1})
+	if len(groupFP) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groupFP))
 	}
 	want := []int{0, 0, 1, 0}
 	for i, g := range groupOf {
 		if g != want[i] {
 			t.Fatalf("armGroup = %v, want %v", groupOf, want)
 		}
+	}
+	// The returned fingerprints identify each group: they must match the
+	// plan fingerprint of the group's representative and differ between
+	// groups.
+	if groupFP[0] != planFingerprint(s1) || groupFP[1] != planFingerprint(s3) {
+		t.Fatalf("group fingerprints %v do not match representatives", groupFP)
+	}
+	if groupFP[0] == groupFP[1] {
+		t.Fatal("distinct groups share a fingerprint")
 	}
 }
 

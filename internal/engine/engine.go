@@ -53,6 +53,7 @@ type Engine struct {
 	grade        Grade
 	builder      stats.Builder
 	tstats       map[string]*stats.TableStats
+	statsEpoch   stats.Epoch
 	SessionHints planner.Hints
 	vars         map[string]string
 }
@@ -154,7 +155,17 @@ func (e *Engine) AnalyzeTable(name string) {
 		return
 	}
 	e.tstats[strings.ToLower(name)] = e.builder.Build(t)
+	e.statsEpoch.Bump()
 }
+
+// StatsEpoch returns the statistics epoch: it advances on every rebuild
+// (Analyze/AnalyzeTable), so cached plans — whose cost and cardinality
+// estimates derive from statistics — can detect that their inputs moved.
+func (e *Engine) StatsEpoch() uint64 { return e.statsEpoch.Load() }
+
+// CatalogVersion returns the schema's DDL mutation counter (see
+// catalog.Schema.Version).
+func (e *Engine) CatalogVersion() uint64 { return e.Schema.Version() }
 
 // TableStats implements planner.StatsProvider.
 func (e *Engine) TableStats(table string) *stats.TableStats {

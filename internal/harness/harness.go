@@ -34,6 +34,15 @@ type Options struct {
 	// ParallelPlanning turns on concurrent arm planning
 	// (core.Config.ParallelPlanning).
 	ParallelPlanning bool
+	// PlanCache enables the query-fingerprint plan cache
+	// (core.Config.PlanCache); PlanCacheSize bounds its entries (zero =
+	// the core default).
+	PlanCache     bool
+	PlanCacheSize int
+	// InferBatch, when positive, coalesces concurrent predictions into
+	// shared forward passes of at most this many trees
+	// (core.Config.InferBatch).
+	InferBatch int
 	// QueryTimeout, when positive, imposes a per-query deadline (expressed
 	// at real-deployment scale, like the serving layer's flag). Queries
 	// whose simulated execution exceeds the deadline's compressed budget

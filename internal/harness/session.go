@@ -52,6 +52,9 @@ func (s *Session) BaoConfig() core.Config {
 	cfg.Seed = s.Opts.Seed
 	cfg.Workers = s.Opts.Workers
 	cfg.ParallelPlanning = s.Opts.ParallelPlanning
+	cfg.PlanCache = s.Opts.PlanCache
+	cfg.PlanCacheSize = s.Opts.PlanCacheSize
+	cfg.InferBatch = s.Opts.InferBatch
 	return cfg
 }
 

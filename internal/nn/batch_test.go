@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// predictSum is a deterministic per-tree stand-in for a model forward
+// pass: each tree's prediction is the sum of its features, so batched and
+// unbatched results are trivially comparable bit-for-bit.
+func predictSum(trees []*Tree) []float64 {
+	out := make([]float64, len(trees))
+	for i, t := range trees {
+		s := 0.0
+		for _, f := range t.Feat {
+			s += f
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func testTrees(n int, seed float64) []*Tree {
+	out := make([]*Tree, n)
+	for i := range out {
+		t := NewTree(3, 4)
+		for j := range t.Feat {
+			t.Feat[j] = seed + float64(i)*10 + float64(j)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// A batched prediction must equal the same call made alone, whatever
+// grouping the batcher chose.
+func TestBatcherMatchesDirect(t *testing.T) {
+	b := NewBatcher(16)
+	key := "model"
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			trees := testTrees(1+g%5, float64(g)*100)
+			want := predictSum(trees)
+			got := b.Predict(key, predictSum, trees)
+			if len(got) != len(want) {
+				errs <- fmt.Sprintf("goroutine %d: %d preds, want %d", g, len(got), len(want))
+				return
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					errs <- fmt.Sprintf("goroutine %d tree %d: %g != %g", g, i, got[i], want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// Every pass the batcher issues must respect MaxTrees, except a single
+// call that is itself oversized, which still runs alone.
+func TestBatcherBoundsPassSize(t *testing.T) {
+	b := NewBatcher(8)
+	var maxSeen atomic.Int64
+	var calls atomic.Int64
+	b.OnBatch = func(trees, n int) {
+		calls.Add(1)
+		for {
+			cur := maxSeen.Load()
+			if int64(trees) <= cur || maxSeen.CompareAndSwap(cur, int64(trees)) {
+				return
+			}
+		}
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var passes atomic.Int64
+	// Blocks only its first pass; the batcher reuses the owner's fn for
+	// drained passes, which must predict normally.
+	blockingFn := func(trees []*Tree) []float64 {
+		if passes.Add(1) == 1 {
+			close(started)
+			<-block
+		}
+		return predictSum(trees)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Predict("m", blockingFn, testTrees(3, 0))
+	}()
+	<-started
+	// These queue behind the blocked pass; 5 calls × 3 trees must drain in
+	// passes of at most 8 trees (i.e. two calls per pass).
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b.Predict("m", blockingFn, testTrees(3, float64(g)))
+		}(g)
+	}
+	close(block)
+	wg.Wait()
+	if got := maxSeen.Load(); got > 8 {
+		t.Fatalf("a pass ran %d trees, max is 8", got)
+	}
+	if got := calls.Load(); got < 4 {
+		t.Fatalf("only %d passes for 6 calls of 3 trees under an 8-tree bound", got)
+	}
+
+	// A single oversized call still runs, alone.
+	maxSeen.Store(0)
+	b.Predict("m", predictSum, testTrees(20, 0))
+	if got := maxSeen.Load(); got != 20 {
+		t.Fatalf("oversized call observed as %d trees, want 20", got)
+	}
+}
+
+// Calls keyed to different models must never share a pass.
+func TestBatcherKeysAreIsolated(t *testing.T) {
+	b := NewBatcher(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := g % 2
+			fn := func(trees []*Tree) []float64 {
+				out := predictSum(trees)
+				for i := range out {
+					out[i] += float64(key) * 1e6
+				}
+				return out
+			}
+			trees := testTrees(2, float64(g))
+			got := b.Predict(key, fn, trees)
+			want := predictSum(trees)
+			for i := range want {
+				if got[i] != want[i]+float64(key)*1e6 {
+					t.Errorf("key %d tree %d: got %g, want %g", key, i, got[i], want[i]+float64(key)*1e6)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// A predict function that panics during a drained pass must re-raise in
+// that pass's waiter and must not wedge the queue for later calls.
+func TestBatcherPanicPropagates(t *testing.T) {
+	b := NewBatcher(64)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var passes atomic.Int64
+	// The shared model function: the first pass blocks (so the poisoned
+	// call queues behind it), later passes panic on a marker tree.
+	fn := func(trees []*Tree) []float64 {
+		if passes.Add(1) == 1 {
+			close(started)
+			<-block
+			return predictSum(trees)
+		}
+		for _, tr := range trees {
+			if tr.Feat[0] == -999 {
+				panic("model bug")
+			}
+		}
+		return predictSum(trees)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Predict("m", fn, testTrees(1, 0))
+	}()
+	<-started
+	poisoned := testTrees(1, 1)
+	poisoned[0].Feat[0] = -999
+	panicked := make(chan any, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		b.Predict("m", fn, poisoned)
+	}()
+	// Wait until the poisoned call is queued, else it would take the
+	// direct path once the first pass finishes.
+	for {
+		b.mu.Lock()
+		queued := len(b.queue["m"])
+		b.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+	}
+	close(block)
+	wg.Wait()
+	if r := <-panicked; r != "model bug" {
+		t.Fatalf("waiter recovered %v, want the model panic", r)
+	}
+	// The queue must still serve after the poisoned pass.
+	trees := testTrees(2, 5)
+	got := b.Predict("m", fn, trees)
+	want := predictSum(trees)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-panic predict diverged: %g != %g", got[i], want[i])
+		}
+	}
+}
+
+// High-contention smoke test (meaningful under -race): many goroutines,
+// two keys, random-ish sizes.
+func TestBatcherStress(t *testing.T) {
+	b := NewBatcher(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				trees := testTrees(1+(g+r)%7, float64(g*1000+r))
+				got := b.Predict(g%2, predictSum, trees)
+				want := predictSum(trees)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("goroutine %d round %d tree %d: %g != %g", g, r, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -28,6 +28,15 @@ type Observer struct {
 	// plan this query and therefore skipped featurization and inference.
 	PlansDeduped *Counter // bao_plans_deduped_total
 
+	// Plan cache (query-fingerprint select cache) and the cross-request
+	// inference micro-batcher.
+	PlanCacheHits      *Counter   // bao_plancache_hits_total
+	PlanCacheMisses    *Counter   // bao_plancache_misses_total
+	PlanCacheEvictions *Counter   // bao_plancache_evictions_total
+	PlanCacheEntries   *Gauge     // bao_plancache_entries
+	PlanCacheBytes     *Gauge     // bao_plancache_bytes
+	InferBatchSize     *Histogram // bao_infer_batch_size
+
 	// Stage latency histograms (seconds).
 	ParseSeconds  *Histogram // bao_parse_seconds
 	PlanSeconds   *Histogram // bao_planning_seconds (all arms, wall)
@@ -132,6 +141,13 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		External:     reg.Counter("bao_external_experiences_total", "Off-policy experiences added (advisor mode, DBA plans)."),
 		Window:       reg.Gauge("bao_experience_window", "Experiences currently in the sliding window."),
 		PlansDeduped: reg.Counter("bao_plans_deduped_total", "Arm plans that duplicated another arm's plan and skipped featurization+inference."),
+
+		PlanCacheHits:      reg.Counter("bao_plancache_hits_total", "Selections served from the query-fingerprint plan cache (planning and dedup skipped)."),
+		PlanCacheMisses:    reg.Counter("bao_plancache_misses_total", "Selections that planned all arms because no valid cache entry existed."),
+		PlanCacheEvictions: reg.Counter("bao_plancache_evictions_total", "Plan-cache entries evicted to respect the entry or byte bound."),
+		PlanCacheEntries:   reg.Gauge("bao_plancache_entries", "Entries currently resident in the plan cache."),
+		PlanCacheBytes:     reg.Gauge("bao_plancache_bytes", "Approximate resident bytes of cached plan tensors and predictions."),
+		InferBatchSize:     reg.Histogram("bao_infer_batch_size", "Trees per TCNN forward pass issued by the cross-request inference batcher.", CountBuckets()),
 
 		ParseSeconds:  reg.Histogram("bao_parse_seconds", "Parse+analyze wall time per query.", lat),
 		PlanSeconds:   reg.Histogram("bao_planning_seconds", "Wall time planning all arms for one query.", lat),

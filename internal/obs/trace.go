@@ -54,7 +54,14 @@ type Trace struct {
 	// Breaker notes a decision the guard degraded to the default arm and
 	// why ("breaker-open", "planner-panic", "degenerate-predictions").
 	Breaker string `json:"breaker,omitempty"`
-	Spans   []Span `json:"spans"`
+	// Cache is the plan-cache verdict for this decision: "hit" (plans,
+	// tensors, and predictions all reused), "hit-repredict" (tensors
+	// reused, predictions recomputed because the model generation moved),
+	// "hit-refeaturize" (plans reused, tensors and predictions recomputed
+	// because buffer-pool residency drifted), or "miss". Empty when the
+	// cache is disabled or bypassed (breaker open).
+	Cache string `json:"cache,omitempty"`
+	Spans []Span `json:"spans"`
 
 	start time.Time // monotonic anchor for span offsets
 }

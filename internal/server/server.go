@@ -749,6 +749,15 @@ type statusResponse struct {
 	ModelGeneration     uint64 `json:"model_generation,omitempty"`
 	RetrainRejected     int    `json:"retrain_rejected,omitempty"`
 	CheckpointRollbacks int    `json:"checkpoint_rollbacks,omitempty"`
+	// Plan-cache state (present when the query-fingerprint plan cache is
+	// enabled): resident entries and approximate tensor bytes, the
+	// hit/miss totals, and the model version cached predictions are keyed
+	// on (moves in lockstep with model_generation under checkpointing).
+	PlanCacheEntries int    `json:"plan_cache_entries,omitempty"`
+	PlanCacheBytes   int64  `json:"plan_cache_bytes,omitempty"`
+	PlanCacheHits    uint64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses  uint64 `json:"plan_cache_misses,omitempty"`
+	ModelVersion     uint64 `json:"model_version,omitempty"`
 }
 
 // handleStatus reports the serving state (unthrottled, so health checks
@@ -780,6 +789,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.RetrainRejected = int(s.o.RetrainRejected.Value())
 	resp.CheckpointRollbacks = int(s.o.CheckpointRollbacks.Value())
+	if s.bao.Cfg.PlanCache {
+		resp.PlanCacheEntries, resp.PlanCacheBytes = s.bao.PlanCacheStats()
+		resp.PlanCacheHits = uint64(s.o.PlanCacheHits.Value())
+		resp.PlanCacheMisses = uint64(s.o.PlanCacheMisses.Value())
+		resp.ModelVersion = s.bao.ModelVersion()
+	}
 	writeJSON(w, resp)
 }
 

@@ -16,10 +16,26 @@ package stats
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"bao/internal/catalog"
 	"bao/internal/storage"
 )
+
+// Epoch is a monotone counter advanced every time statistics are rebuilt.
+// Consumers whose cached state embeds statistics-derived values (plan
+// cost/cardinality estimates, and therefore the plan cache one level up)
+// snapshot it and treat a changed reading as an invalidation signal. Safe
+// for concurrent use; the zero value is ready.
+type Epoch struct {
+	n atomic.Uint64
+}
+
+// Bump advances the epoch (call after a statistics rebuild lands).
+func (e *Epoch) Bump() { e.n.Add(1) }
+
+// Load returns the current epoch.
+func (e *Epoch) Load() uint64 { return e.n.Load() }
 
 // MCVEntry is a most-common value and its frequency as a fraction of rows.
 type MCVEntry struct {
