@@ -32,6 +32,7 @@ import (
 	"bao/internal/guard"
 	"bao/internal/obs"
 	"bao/internal/planner"
+	baorouter "bao/internal/router"
 	baoserver "bao/internal/server"
 	"bao/internal/storage"
 )
@@ -222,6 +223,57 @@ func Serve(opt *Optimizer, addr string, cfg ServerConfig) (*BaoServer, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Fleet re-exports: the sharded multi-tenant serving layer (a router
+// consistent-hashing tenants onto shards; each shard hosting one full
+// serving stack per resident tenant in its own durable namespace). See
+// DESIGN.md §10 and the README's Fleet section.
+type (
+	// Shard is a multi-tenant baoserver: per-tenant optimizers, trainers,
+	// experience logs, and checkpoints behind one HTTP front door, with
+	// lazy activation and LRU residency bounded by count and bytes.
+	Shard = baoserver.Shard
+	// ShardConfig controls a Shard (name, tenant namespace root and
+	// factory, residency bounds, preload list).
+	ShardConfig = baoserver.ShardConfig
+	// TenantOptions configures a shard's tenant registry.
+	TenantOptions = baoserver.TenantOptions
+	// Router is the fleet front door: consistent-hash tenant routing with
+	// inline failover and rebuild-by-replay reassignment.
+	Router = baorouter.Router
+	// RouterConfig controls a Router (fleet membership, vnodes, body
+	// buffer bound, health polling).
+	RouterConfig = baorouter.RouterConfig
+	// RouterShard names one shard and its base URL in RouterConfig.
+	RouterShard = baorouter.ShardInfo
+)
+
+// ServeShard builds a shard from cfg, binds addr (":0" picks a free
+// port), and serves in the background, rehydrating any preload tenants
+// asynchronously; poll GET /v1/health for readiness.
+func ServeShard(cfg ShardConfig, addr string) (*Shard, error) {
+	s, err := baoserver.NewShard(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ServeRouter builds a fleet router from cfg, binds addr (":0" picks a
+// free port), and serves in the background.
+func ServeRouter(cfg RouterConfig, addr string) (*Router, error) {
+	r, err := baorouter.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Start(addr); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Guardrail re-exports: the self-healing decision loop (internal/guard).

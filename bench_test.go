@@ -478,3 +478,271 @@ func BenchmarkServerQueryConcurrentRepeated(b *testing.B) {
 	b.Run("cache=off", func(b *testing.B) { benchSelectRepeated(b, false) })
 	b.Run("cache=on", func(b *testing.B) { benchSelectRepeated(b, true) })
 }
+
+// benchFleetTenants is the tenant population of the fleet benchmark —
+// spread by consistent hashing across both shards.
+const benchFleetTenants = 8
+
+// benchFleetSelects is how many selections one fleet-benchmark iteration
+// pushes (round-robin across all tenants).
+const benchFleetSelects = 48
+
+// microShapes is the fixed repeated-shape select set each fleet tenant
+// serves during measurement (no observes → the model, and therefore the
+// plan cache, stays fixed).
+var microShapes = []string{
+	"SELECT COUNT(*) FROM orders o, users u WHERE o.user_id = u.id AND u.id < 5",
+	"SELECT SUM(o.price) FROM orders o WHERE o.day = 6 AND o.price > 180",
+	"SELECT u.segment, COUNT(*) FROM orders o, users u WHERE o.user_id = u.id AND o.item_id < 20 GROUP BY u.segment ORDER BY u.segment",
+	"SELECT COUNT(*) FROM orders o, users u WHERE o.user_id = u.id AND u.id < 9",
+}
+
+// benchFleet is a warmed 2-shard × 8-tenant serving fleet: every tenant
+// activated, trained past its retrain floor, and holding a plan cache,
+// with a private observer per tenant so hit rates separate.
+type benchFleet struct {
+	router  *bao.Router
+	shards  []*bao.Shard
+	tenants []string
+	base    string            // router base URL
+	direct  map[string]string // tenant -> owning shard base URL (bypass)
+
+	mu        sync.Mutex
+	observers map[string]*obs.Observer // per-tenant core observers
+}
+
+func newBenchFleet(b *testing.B, workers int) *benchFleet {
+	b.Helper()
+	f := &benchFleet{direct: map[string]string{}, observers: map[string]*obs.Observer{}}
+	dir := b.TempDir()
+	factory := func(tenant string) (*bao.Optimizer, error) {
+		// Scale 6 makes one query cost what real serving traffic costs
+		// (high hundreds of µs), so the hop measures against a realistic
+		// denominator rather than toy row counts.
+		inst := workload.Micro(workload.Config{Scale: 6, Queries: 1, Seed: 42})
+		eng := bao.NewEngine(bao.GradePostgreSQL, 256)
+		if err := inst.Setup(eng); err != nil {
+			return nil, err
+		}
+		cfg := bao.FastConfig()
+		cfg.Arms = bao.TopArms(3)
+		cfg.ArmWarmup = 0
+		// Scheduled retrains are off: the factory trains inline below, so
+		// measurement runs against a frozen model — no drift between the
+		// Direct and Routed sub-benchmarks from window growth or
+		// invalidation cadence.
+		cfg.RetrainEvery = 1 << 30
+		cfg.Train.MaxEpochs = 2
+		cfg.Workers = workers
+		cfg.PlanCache = true
+		cfg.PlanCacheSize = 256
+		o := obs.NewObserver(obs.NewRegistry(), nil)
+		cfg.Observer = o
+		f.mu.Lock()
+		f.observers[tenant] = o
+		f.mu.Unlock()
+		opt := bao.New(eng, cfg)
+		for i := 0; i < 20; i++ {
+			if _, _, err := opt.Run(microShapes[i%len(microShapes)]); err != nil {
+				return nil, err
+			}
+		}
+		opt.Retrain()
+		return opt, nil
+	}
+	var infos []bao.RouterShard
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("shard-%d", i)
+		shard, err := bao.ServeShard(bao.ShardConfig{
+			Name:     name,
+			Tenants:  bao.TenantOptions{Dir: dir, NewBao: factory},
+			Observer: obs.NewObserver(obs.NewRegistry(), nil),
+		}, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.shards = append(f.shards, shard)
+		infos = append(infos, bao.RouterShard{Name: name, URL: "http://" + shard.Addr()})
+	}
+	rt, err := bao.ServeRouter(bao.RouterConfig{Shards: infos,
+		Observer: obs.NewObserver(obs.NewRegistry(), nil)}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.router = rt
+	f.base = "http://" + rt.Addr()
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx) //nolint:errcheck // benchmark teardown
+		for _, s := range f.shards {
+			s.Shutdown(ctx) //nolint:errcheck // benchmark teardown
+		}
+	})
+	urlOf := map[string]string{}
+	for _, si := range infos {
+		urlOf[si.Name] = si.URL
+	}
+	for i := 0; i < benchFleetTenants; i++ {
+		tn := fmt.Sprintf("acme-%d", i)
+		f.tenants = append(f.tenants, tn)
+		f.direct[tn] = urlOf[rt.Owner(tn)]
+	}
+	// Activate every tenant (the factory pre-trains it) and repopulate
+	// the post-swap plan cache with the measured shapes.
+	for _, tn := range f.tenants {
+		for _, sql := range microShapes {
+			if err := f.post(f.base, tn, "/v1/query", sql); err != nil {
+				b.Fatalf("warm %s: %v", tn, err)
+			}
+		}
+	}
+	f.waitTrained(b)
+	return f
+}
+
+// benchFleetClient pools connections to the router and both shards so
+// the Direct/Routed comparison measures the hop, not redials.
+var benchFleetClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns: 256, MaxIdleConnsPerHost: 64, IdleConnTimeout: 90 * time.Second}}
+
+func (f *benchFleet) post(base, tenant, path, sql string) error {
+	body, _ := json.Marshal(map[string]string{"sql": sql})
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Bao-Tenant", tenant)
+	resp, err := benchFleetClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s for %s: status %d", path, base, tenant, resp.StatusCode)
+	}
+	return nil
+}
+
+// waitTrained polls every tenant's status through the router until its
+// async trainer has swapped a model in, so measurement never races
+// warm-up training.
+func (f *benchFleet) waitTrained(b *testing.B) {
+	b.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for _, tn := range f.tenants {
+		for {
+			if time.Now().After(deadline) {
+				b.Fatalf("tenant %s never trained during warm-up", tn)
+			}
+			req, err := http.NewRequest(http.MethodGet, f.base+"/v1/status", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("X-Bao-Tenant", tn)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				Trained bool `json:"trained"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Trained {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// run pushes benchFleetSelects repeated-shape full queries (the
+// select-execute-observe loop) per iteration through 4 concurrent
+// clients, each request targeting its tenant via the router
+// (routed=true) or the owning shard directly (routed=false) — the
+// difference between the two rows is the router hop's overhead.
+func (f *benchFleet) run(b *testing.B, routed bool) float64 {
+	b.Helper()
+	type hm struct{ hits, misses float64 }
+	pre := map[string]hm{}
+	f.mu.Lock()
+	for tn, o := range f.observers {
+		pre[tn] = hm{o.PlanCacheHits.Value(), o.PlanCacheMisses.Value()}
+	}
+	f.mu.Unlock()
+	const clients = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for r := 0; r < benchFleetSelects/clients; r++ {
+					tn := f.tenants[(c*benchFleetSelects/clients+r)%len(f.tenants)]
+					base := f.base
+					if !routed {
+						base = f.direct[tn]
+					}
+					sql := microShapes[r%len(microShapes)]
+					if err := f.post(base, tn, "/v1/query", sql); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	// Per-tenant plan-cache hit rates over the measured window, as their
+	// own BENCH_results.json rows; the aggregate rides the main row.
+	var hits, total float64
+	f.mu.Lock()
+	for _, tn := range f.tenants {
+		o := f.observers[tn]
+		h := o.PlanCacheHits.Value() - pre[tn].hits
+		m := o.PlanCacheMisses.Value() - pre[tn].misses
+		hits += h
+		total += h + m
+		rate := 0.0
+		if h+m > 0 {
+			rate = h / (h + m)
+		}
+		benchResults.mu.Lock()
+		benchResults.rows = append(benchResults.rows, benchRow{
+			Name: b.Name() + "/tenant=" + tn, Cores: clients, CacheHitRate: rate})
+		benchResults.mu.Unlock()
+	}
+	f.mu.Unlock()
+	agg := 0.0
+	if total > 0 {
+		agg = hits / total
+	}
+	recordBenchCache(b, benchFleetSelects, clients, agg)
+	return nsPerOp
+}
+
+// BenchmarkRouterMultiTenant is the fleet acceptance benchmark: a
+// 2-shard × 8-tenant fleet serving repeated-shape selections, measured
+// shard-direct and through the router. The Routed-vs-Direct ns/op pair
+// in BENCH_results.json is the router-overhead claim (target <15%), and
+// every tenant's plan-cache hit rate lands alongside as its own row.
+func BenchmarkRouterMultiTenant(b *testing.B) {
+	f := newBenchFleet(b, 2)
+	var directNs, routedNs float64
+	b.Run("Direct", func(b *testing.B) { directNs = f.run(b, false) })
+	b.Run("Routed", func(b *testing.B) { routedNs = f.run(b, true) })
+	if directNs > 0 && routedNs > 0 {
+		b.Logf("router overhead: %.1f%% (direct %.0f ns/op, routed %.0f ns/op)",
+			(routedNs-directNs)/directNs*100, directNs, routedNs)
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	planCache := flag.Bool("plan-cache", false, "cache planned arm sets and featurized tensors per query fingerprint")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "plan-cache resident byte bound (0 = 64 MiB)")
 	inferBatch := flag.Int("infer-batch", 0, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; over-budget queries clamp to it as censored observations (0 = off)")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address while experiments run")
@@ -46,7 +47,7 @@ func main() {
 
 	opts := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed,
 		Workers: *workers, ParallelPlanning: *parallelPlanning,
-		PlanCache: *planCache, InferBatch: *inferBatch,
+		PlanCache: *planCache, PlanCacheBytes: *planCacheBytes, InferBatch: *inferBatch,
 		QueryTimeout: *queryTimeout, Out: os.Stdout}
 	s := harness.NewSession(opts)
 

@@ -10,7 +10,7 @@
 //	          [-explog bao.explog] [-model bao.model] [-train 0]
 //	          [-max-inflight 64] [-timeout 30s] [-query-timeout 0]
 //	          [-workers N] [-parallel-planning]
-//	          [-plan-cache=true] [-plan-cache-size 512] [-infer-batch 64]
+//	          [-plan-cache=true] [-plan-cache-size 512] [-plan-cache-bytes N] [-infer-batch 64]
 //	          [-checkpoint-dir DIR] [-checkpoint-keep 5] [-guard=true]
 //
 // Endpoints (see internal/server):
@@ -53,7 +53,8 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	planCache := flag.Bool("plan-cache", true, "cache planned arm sets and featurized tensors per query fingerprint (invalidated on retrain, DDL, and ANALYZE)")
-	planCacheSize := flag.Int("plan-cache-size", 512, "plan-cache entry bound (the byte bound is fixed at 64 MiB)")
+	planCacheSize := flag.Int("plan-cache-size", 512, "plan-cache entry bound")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "plan-cache resident byte bound (0 = 64 MiB)")
 	inferBatch := flag.Int("infer-batch", 64, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "versioned model checkpoint directory (rolls back past corrupt generations on startup)")
 	ckptKeep := flag.Int("checkpoint-keep", 0, "checkpoint generations to retain (0 = default 5)")
@@ -75,6 +76,7 @@ func main() {
 	cfg.ParallelPlanning = *parallelPlanning
 	cfg.PlanCache = *planCache
 	cfg.PlanCacheSize = *planCacheSize
+	cfg.PlanCacheBytes = *planCacheBytes
 	cfg.InferBatch = *inferBatch
 	if *guardOn {
 		cfg.Breaker = bao.BreakerConfig{Enabled: true}

@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines for Bao planning/inference/training (0 = one per CPU, 1 = sequential)")
 	parallelPlanning := flag.Bool("parallel-planning", false, "plan hint-set arms concurrently")
 	planCache := flag.Bool("plan-cache", false, "cache planned arm sets and featurized tensors per query fingerprint")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "plan-cache resident byte bound (0 = 64 MiB)")
 	inferBatch := flag.Int("infer-batch", 0, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out Bao queries record censored experiences (0 = off)")
 	guardOn := flag.Bool("guard", false, "enable Bao's guardrails: validation-gated hot-swap and the default-plan circuit breaker")
@@ -70,6 +71,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.ParallelPlanning = *parallelPlanning
 	cfg.PlanCache = *planCache
+	cfg.PlanCacheBytes = *planCacheBytes
 	cfg.InferBatch = *inferBatch
 	if *guardOn {
 		cfg.Breaker = bao.BreakerConfig{Enabled: true}

@@ -35,10 +35,11 @@ type Options struct {
 	// (core.Config.ParallelPlanning).
 	ParallelPlanning bool
 	// PlanCache enables the query-fingerprint plan cache
-	// (core.Config.PlanCache); PlanCacheSize bounds its entries (zero =
-	// the core default).
-	PlanCache     bool
-	PlanCacheSize int
+	// (core.Config.PlanCache); PlanCacheSize bounds its entries and
+	// PlanCacheBytes its resident bytes (zero = the core defaults).
+	PlanCache      bool
+	PlanCacheSize  int
+	PlanCacheBytes int64
 	// InferBatch, when positive, coalesces concurrent predictions into
 	// shared forward passes of at most this many trees
 	// (core.Config.InferBatch).

@@ -54,6 +54,7 @@ func (s *Session) BaoConfig() core.Config {
 	cfg.ParallelPlanning = s.Opts.ParallelPlanning
 	cfg.PlanCache = s.Opts.PlanCache
 	cfg.PlanCacheSize = s.Opts.PlanCacheSize
+	cfg.PlanCacheBytes = s.Opts.PlanCacheBytes
 	cfg.InferBatch = s.Opts.InferBatch
 	return cfg
 }

@@ -109,6 +109,24 @@ type Observer struct {
 	TrainerPanics       *Counter // bao_trainer_panics_total
 	PlannerPanics       *Counter // bao_planner_panics_total
 
+	// Fleet serving: the multi-tenant shard layer (internal/server.Shard)
+	// and the consistent-hash router (internal/router). Tenant labels make
+	// one shard's /metrics separable per tenant; shard labels make the
+	// router's traffic separable per backend.
+	TenantRequests    *CounterVec // bao_shard_tenant_requests_total{tenant}
+	TenantActivations *Counter    // bao_shard_tenant_activations_total
+	TenantEvictions   *Counter    // bao_shard_tenant_evictions_total
+	TenantRehydrated  *Counter    // bao_shard_tenant_rehydrations_total
+	TenantsResident   *Gauge      // bao_shard_tenants_resident
+	TenantBytes       *Gauge      // bao_shard_resident_bytes
+	TenantActivateSec *Histogram  // bao_shard_tenant_activation_seconds
+	RouterRequests    *CounterVec // bao_router_requests_total{shard}
+	RouterErrors      *CounterVec // bao_router_proxy_errors_total{shard}
+	RouterSeconds     *Histogram  // bao_router_request_seconds
+	RouterHealthy     *Gauge      // bao_router_shards_healthy
+	RouterRehashes    *Counter    // bao_router_ring_rehashes_total
+	RouterFailovers   *Counter    // bao_router_failovers_total
+
 	// Execution work counters (from executor.Counters) and buffer pool.
 	ExecCPUOps     *Counter    // bao_exec_cpu_ops_total
 	ExecPageHits   *Counter    // bao_exec_page_hits_total
@@ -203,6 +221,20 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		NonFinitePreds:      reg.Counter("bao_nonfinite_predictions_total", "Non-finite model predictions clamped during arm selection."),
 		TrainerPanics:       reg.Counter("bao_trainer_panics_total", "Panics recovered in the detached model fit (the incumbent kept serving)."),
 		PlannerPanics:       reg.Counter("bao_planner_panics_total", "Panics recovered in per-arm planning (the query degraded to the default plan)."),
+
+		TenantRequests:    reg.CounterVec("bao_shard_tenant_requests_total", "Requests dispatched to a resident tenant, by tenant.", "tenant"),
+		TenantActivations: reg.Counter("bao_shard_tenant_activations_total", "Tenant activations (lazy model+explog+checkpoint namespace loads)."),
+		TenantEvictions:   reg.Counter("bao_shard_tenant_evictions_total", "Tenants evicted by the residency LRU after flushing their explog and checkpoints."),
+		TenantRehydrated:  reg.Counter("bao_shard_tenant_rehydrations_total", "Activations that replayed a non-empty experience log (a tenant rebuilt from its durable namespace)."),
+		TenantsResident:   reg.Gauge("bao_shard_tenants_resident", "Tenants currently resident (model in memory)."),
+		TenantBytes:       reg.Gauge("bao_shard_resident_bytes", "Approximate bytes of resident tenant models."),
+		TenantActivateSec: reg.Histogram("bao_shard_tenant_activation_seconds", "Wall time to activate one tenant (open namespace, replay explog, restore checkpoint).", lat),
+		RouterRequests:    reg.CounterVec("bao_router_requests_total", "Requests proxied to a shard, by shard.", "shard"),
+		RouterErrors:      reg.CounterVec("bao_router_proxy_errors_total", "Proxy transport failures, by shard (each marks the shard down and fails over).", "shard"),
+		RouterSeconds:     reg.Histogram("bao_router_request_seconds", "Router end-to-end request wall time (tenant resolution + proxy hop).", lat),
+		RouterHealthy:     reg.Gauge("bao_router_shards_healthy", "Shards currently routable (healthy and not draining)."),
+		RouterRehashes:    reg.Counter("bao_router_ring_rehashes_total", "Consistent-hash ring rebuilds after shard membership or health changes."),
+		RouterFailovers:   reg.Counter("bao_router_failovers_total", "Requests retried on the next ring owner after a proxy transport failure."),
 
 		ExecCPUOps:     reg.Counter("bao_exec_cpu_ops_total", "Executor CPU work units charged."),
 		ExecPageHits:   reg.Counter("bao_exec_page_hits_total", "Buffer-pool page hits charged by the executor."),

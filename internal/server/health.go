@@ -1,0 +1,43 @@
+package baoserver
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// healthResponse is the /v1/health body for both probe flavors.
+type healthResponse struct {
+	Live  bool `json:"live"`
+	Ready bool `json:"ready"`
+	// Detail distinguishes why a live process is not ready (e.g. replay
+	// or preload still running) for humans reading the probe by hand.
+	Detail string `json:"detail,omitempty"`
+}
+
+// healthHandler serves the liveness/readiness probe:
+//
+//	GET /v1/health             readiness: 200 once ready() (explog replay +
+//	                           checkpoint rollback — and, on a shard,
+//	                           tenant preload — complete), 503 before
+//	GET /v1/health?probe=live  liveness: 200 whenever the process answers
+//
+// The router's health checker polls the readiness flavor, so a shard
+// still rehydrating tenants takes no traffic; orchestrators use the
+// liveness flavor to decide restart-vs-wait. The endpoint bypasses
+// admission control: a saturated shard must still answer its probes, or
+// overload would read as death.
+func healthHandler(ready func() (bool, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := healthResponse{Live: true}
+		resp.Ready, resp.Detail = ready()
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("probe") != "live" && !resp.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // best effort over HTTP
+	}
+}

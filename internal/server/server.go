@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bao/internal/cloud"
@@ -104,6 +105,14 @@ type Server struct {
 	shutOnce    sync.Once
 	eventSink   bool // an EventLogPath file sink was attached (closed at shutdown)
 
+	// ready flips once startup durability work — explog replay and
+	// checkpoint rollback — has completed; /v1/health reports it. gen is
+	// this server's newest checkpoint generation saved or restored
+	// (unlike the observer's ModelGeneration gauge it stays per-server
+	// when many tenant servers share one observer).
+	ready atomic.Bool
+	gen   atomic.Uint64
+
 	httpSrv *http.Server
 	ln      net.Listener
 }
@@ -197,10 +206,14 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 		}
 		if gen > 0 {
 			s.o.ModelGeneration.Set(float64(gen))
+			s.gen.Store(gen)
 		}
 	}
 	b.SetRetrainHook(s.signalRetrain)
 	go s.trainer()
+	// Startup durability work (replay + rollback) is done; the readiness
+	// probe may now say yes.
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -229,6 +242,7 @@ func (s *Server) saveCheckpoint(cause obs.Cause) {
 	}
 	s.o.CheckpointsSaved.Inc()
 	s.o.ModelGeneration.Set(float64(gen))
+	s.gen.Store(gen)
 	s.o.Emit(obs.Event{Kind: obs.EventCheckpoint, Generation: gen,
 		TraceID: cause.TraceID, RequestID: cause.RequestID})
 	tr.AddSpan("checkpoint_write", start, time.Since(start), fmt.Sprintf("generation=%d", gen))
@@ -268,6 +282,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/model", s.admitted(s.handleModel))
 	mux.HandleFunc("/v1/critical", s.admitted(s.handleCritical))
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/health", healthHandler(s.readiness))
 	mux.Handle("/", obs.Handler(s.o)) // /metrics and /debug/*
 	// Request-ID middleware wraps outermost so the ID survives the
 	// TimeoutHandler's context replacement and reaches every handler.
@@ -358,6 +373,45 @@ func (s *Server) shutdown(ctx context.Context) error {
 		}
 	}
 	return firstErr
+}
+
+// readiness reports whether startup durability work has completed — the
+// /v1/health readiness probe. Liveness is implied by answering at all.
+func (s *Server) readiness() (bool, string) {
+	if !s.ready.Load() {
+		return false, "replaying experience log / restoring checkpoints"
+	}
+	return true, ""
+}
+
+// Generation returns this server's newest model checkpoint generation
+// saved or restored (0 when checkpointing is off or nothing persisted).
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Kill abruptly stops the server without flushing — the chaos-test crash
+// path. The listener (when one exists) closes without draining, hooks
+// detach, the trainer drains its queue and exits, and the experience log
+// handle closes. Unlike Shutdown it never persists the model to
+// ModelPath: whatever the last accepted checkpoint captured is all a
+// rebuild gets, which is exactly the guarantee the fleet chaos tests pin.
+// Waiting for the trainer matters for fencing: once Kill returns, nothing
+// on this server writes to its durable namespace again, so a new owner
+// may open it.
+func (s *Server) Kill() {
+	s.shutOnce.Do(func() {
+		if s.httpSrv != nil {
+			s.httpSrv.Close() //nolint:errcheck // abrupt by design
+		}
+		s.bao.SetRetrainHook(nil)
+		s.bao.SetExperienceHook(nil)
+		s.bao.SetCriticalHook(nil)
+		close(s.retrainCh)
+		<-s.trainerDone
+		s.closeLog() //nolint:errcheck // crash path; the scan tolerates a torn tail
+		if s.eventSink {
+			s.o.Journal().Close() //nolint:errcheck // crash path
+		}
+	})
 }
 
 func (s *Server) closeLog() error {
@@ -785,7 +839,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.BreakerTrips = br.Trips()
 	}
 	if s.ckpt != nil {
-		resp.ModelGeneration = uint64(s.o.ModelGeneration.Value())
+		resp.ModelGeneration = s.gen.Load()
 	}
 	resp.RetrainRejected = int(s.o.RetrainRejected.Value())
 	resp.CheckpointRollbacks = int(s.o.CheckpointRollbacks.Value())

@@ -1,0 +1,271 @@
+package baoserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"bao/internal/obs"
+)
+
+// ShardConfig configures one serving shard of a bao fleet.
+type ShardConfig struct {
+	// Name identifies the shard in routing tables and the X-Bao-Shard
+	// response header. Required.
+	Name string
+	// Tenants configures the tenant registry (namespace root, factory,
+	// residency bounds).
+	Tenants TenantOptions
+	// DefaultTenant is assumed when a request names no tenant ("" =
+	// reject tenant-less requests with 400).
+	DefaultTenant string
+	// Preload names tenants activated before the shard reports ready —
+	// the rehydration list a router hands a shard that is taking over a
+	// dead peer's tenants. The shard is live immediately but not ready
+	// until every preload finished.
+	Preload []string
+	// Observer receives fleet metrics and is shared by every tenant
+	// server on this shard (nil = obs.Default()).
+	Observer *obs.Observer
+}
+
+// Shard is a multi-tenant baoserver: an HTTP front door that dispatches
+// /v1/* requests to per-tenant Servers held in a TenantRegistry. Each
+// tenant keeps the full single-tenant machinery — optimizer, trainer,
+// experience log, checkpoint store — in its own durable namespace, so a
+// shard is just a residency host: killing it loses nothing that replay
+// cannot rebuild elsewhere.
+type Shard struct {
+	cfg ShardConfig
+	o   *obs.Observer
+	reg *TenantRegistry
+
+	ready       atomic.Bool
+	preloadDone chan struct{}
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	shutOnce sync.Once
+}
+
+// NewShard validates cfg and builds the shard. Tenants are not yet
+// activated; Start (or ServeHTTP traffic) does that.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("baoserver: ShardConfig.Name is required")
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = obs.Default()
+	}
+	reg, err := NewTenantRegistry(cfg.Tenants, cfg.Observer)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{cfg: cfg, o: cfg.Observer, reg: reg, preloadDone: make(chan struct{})}
+	if len(cfg.Preload) == 0 {
+		s.ready.Store(true)
+		close(s.preloadDone)
+	}
+	return s, nil
+}
+
+// Registry exposes the tenant registry for tests and benchmarks.
+func (s *Shard) Registry() *TenantRegistry { return s.reg }
+
+// Name returns the shard's configured name.
+func (s *Shard) Name() string { return s.cfg.Name }
+
+// Handler returns the shard's HTTP surface:
+//
+//	/v1/health    liveness/readiness (ready once preload rehydration done)
+//	/v1/tenants   GET resident-tenant listing
+//	/v1/drain     POST flush-evict every tenant (pre-shutdown handoff)
+//	/v1/evict     POST {"tenant": ...} flush-evict one tenant
+//	/v1/*         per-tenant dispatch by X-Bao-Tenant
+//	/metrics, /debug/vars  fleet-wide observability
+//
+// Every response carries X-Bao-Shard so clients and the router can see
+// which shard actually served them.
+func (s *Shard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/health", healthHandler(s.readiness))
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
+	mux.HandleFunc("/v1/evict", s.handleEvict)
+	mux.HandleFunc("/v1/", s.dispatch)
+	mux.Handle("/", obs.Handler(s.o))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Bao-Shard", s.cfg.Name)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// dispatch resolves the tenant, pins it resident (activating on first
+// touch), and forwards to the tenant server's own handler — which
+// applies the per-tenant admission gate, timeout, and request-id
+// middleware exactly as a single-tenant baoserver would.
+func (s *Shard) dispatch(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Bao-Tenant")
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	if tenant == "" {
+		http.Error(w, "missing X-Bao-Tenant header", http.StatusBadRequest)
+		return
+	}
+	if !ValidTenant(tenant) {
+		http.Error(w, "invalid tenant name", http.StatusBadRequest)
+		return
+	}
+	e, err := s.reg.Acquire(r.Context(), tenant)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	defer s.reg.Release(e)
+	s.o.TenantRequests.With(tenant).Inc()
+	e.handler.ServeHTTP(w, r)
+}
+
+func (s *Shard) readiness() (bool, string) {
+	if !s.ready.Load() {
+		return false, fmt.Sprintf("rehydrating %d preload tenants", len(s.cfg.Preload))
+	}
+	return true, ""
+}
+
+// preload activates the configured tenants (replaying their explogs and
+// restoring their checkpoints), then flips the shard ready. Failures are
+// logged as not-ready detail only through metrics; a tenant that fails
+// preload will fail identically on first request, which surfaces the
+// error to a caller who can act on it.
+func (s *Shard) preload() {
+	for _, t := range s.cfg.Preload {
+		if e, err := s.reg.Acquire(context.Background(), t); err == nil {
+			s.reg.Release(e)
+		}
+	}
+	s.ready.Store(true)
+	close(s.preloadDone)
+}
+
+// WaitReady blocks until preload rehydration finished or ctx expires.
+func (s *Shard) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.preloadDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Shard) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	count, bytes := s.reg.Stats()
+	resp := struct {
+		Shard    string   `json:"shard"`
+		Resident []string `json:"resident"`
+		Count    int      `json:"count"`
+		Bytes    int64    `json:"bytes"`
+	}{s.cfg.Name, s.reg.Resident(), count, bytes}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // best effort over HTTP
+}
+
+// handleDrain flushes every tenant off the shard. The router calls this
+// after it stops routing here, so the namespaces are cleanly synced
+// before new owners open them.
+func (s *Shard) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := s.reg.EvictAll(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"evicted\":%d}\n", n)
+}
+
+func (s *Shard) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Tenant string `json:"tenant"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Tenant == "" {
+		http.Error(w, "body must be {\"tenant\": ...}", http.StatusBadRequest)
+		return
+	}
+	evicted := s.reg.EvictTenant(r.Context(), req.Tenant)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"evicted\":%v}\n", evicted)
+}
+
+// Start listens on addr and serves in the background, kicking off
+// preload rehydration. Returns once the listener is bound (use Addr),
+// not once the shard is ready — readiness is what /v1/health is for.
+func (s *Shard) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("baoserver: shard listen: %w", err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on close
+	if len(s.cfg.Preload) > 0 {
+		go s.preload()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Shard) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the shard: HTTP drains first, then every
+// tenant flushes out of residency.
+func (s *Shard) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutOnce.Do(func() {
+		if s.httpSrv != nil {
+			err = s.httpSrv.Shutdown(ctx)
+		}
+		if cerr := s.reg.Close(ctx); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// Kill crashes the shard: the listener slams shut and every tenant
+// server dies without flushing, exactly as a machine loss would leave
+// things. Tenant namespaces are safe to reopen elsewhere once Kill
+// returns (every tenant trainer has drained).
+func (s *Shard) Kill() {
+	s.shutOnce.Do(func() {
+		if s.httpSrv != nil {
+			s.httpSrv.Close() //nolint:errcheck // abrupt by design
+		}
+		s.reg.Kill()
+	})
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bao/internal/catalog"
+	"bao/internal/engine"
+	"bao/internal/storage"
+)
+
+// Micro base row counts (before Config.Scale).
+const (
+	microOrders = 400
+	microUsers  = 40
+)
+
+// Micro is a deliberately tiny two-table workload for fleet-level tests
+// and benchmarks, where dozens of per-tenant engines must be built and
+// rebuilt cheaply (a shard rehydrating its tenants re-runs Setup once per
+// tenant). It keeps the estimation traps that make arm choice matter —
+// Zipf-skewed foreign keys and a correlated predicate pair — at a scale
+// where Setup costs milliseconds, not seconds.
+func Micro(cfg Config) *Instance {
+	nO := cfg.rows(microOrders)
+	nU := cfg.rows(microUsers)
+	if nU < 4 {
+		nU = 4
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 900))
+	userSampler := newSampler(zipfWeights(nU, 1.2))
+	type orderRow struct {
+		id, user, item, price, day int64
+	}
+	orders := make([]orderRow, nO)
+	for i := range orders {
+		u := int64(userSampler.draw(rng))
+		// Price correlates with the day bucket (weekend orders are larger):
+		// the planted independence-assumption trap.
+		day := int64(rng.Intn(7))
+		price := int64(10+rng.Intn(90)) + day*40
+		orders[i] = orderRow{int64(i), u, int64(rng.Intn(50)), price, day}
+	}
+
+	inst := &Instance{
+		Spec: Spec{Name: "Micro", NominalSizeGB: 0.001, QueryCount: cfg.Queries},
+	}
+
+	inst.Setup = func(e *engine.Engine) error {
+		e.CreateTable(catalog.MustTable("orders",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "user_id", Type: catalog.Int},
+			catalog.Column{Name: "item_id", Type: catalog.Int},
+			catalog.Column{Name: "price", Type: catalog.Int},
+			catalog.Column{Name: "day", Type: catalog.Int}))
+		e.CreateTable(catalog.MustTable("users",
+			catalog.Column{Name: "id", Type: catalog.Int},
+			catalog.Column{Name: "segment", Type: catalog.Int}))
+		orows := make([]storage.Row, nO)
+		for i, o := range orders {
+			orows[i] = storage.Row{storage.IntVal(o.id), storage.IntVal(o.user),
+				storage.IntVal(o.item), storage.IntVal(o.price), storage.IntVal(o.day)}
+		}
+		if err := e.Insert("orders", orows); err != nil {
+			return err
+		}
+		urows := make([]storage.Row, nU)
+		for i := range urows {
+			urows[i] = storage.Row{storage.IntVal(int64(i)), storage.IntVal(int64(i % 5))}
+		}
+		if err := e.Insert("users", urows); err != nil {
+			return err
+		}
+		if err := e.CreateIndex(catalog.Index{Name: "ix_orders_user", Table: "orders", Column: "user_id"}); err != nil {
+			return err
+		}
+		if err := e.CreateIndex(catalog.Index{Name: "ix_users_id", Table: "users", Column: "id", Unique: true}); err != nil {
+			return err
+		}
+		e.Analyze()
+		return nil
+	}
+
+	inst.Queries = buildStream(cfg, false, microTemplates(nU))
+	return inst
+}
+
+func microTemplates(nU int) []template {
+	return []template{
+		{name: "hot_user_join", weight: 2.0, gen: func(rng *rand.Rand) string {
+			// Zipf-hot users have huge fan-out the NDV estimate misses.
+			return fmt.Sprintf("SELECT COUNT(*) FROM orders o, users u WHERE o.user_id = u.id AND u.id < %d",
+				1+rng.Intn(nU/4+1))
+		}},
+		{name: "weekend_spend", weight: 1.5, gen: func(rng *rand.Rand) string {
+			// Correlated (day, price) pair → independence under-estimate.
+			d := 5 + rng.Intn(2)
+			return fmt.Sprintf("SELECT SUM(o.price) FROM orders o WHERE o.day = %d AND o.price > %d",
+				d, 150+rng.Intn(60))
+		}},
+		{name: "segment_rollup", weight: 1.0, gen: func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT u.segment, COUNT(*) FROM orders o, users u WHERE o.user_id = u.id AND o.item_id < %d GROUP BY u.segment ORDER BY u.segment",
+				5+rng.Intn(30))
+		}},
+	}
+}
