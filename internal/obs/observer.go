@@ -230,7 +230,7 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		TenantBytes:       reg.Gauge("bao_shard_resident_bytes", "Approximate bytes of resident tenant models."),
 		TenantActivateSec: reg.Histogram("bao_shard_tenant_activation_seconds", "Wall time to activate one tenant (open namespace, replay explog, restore checkpoint).", lat),
 		RouterRequests:    reg.CounterVec("bao_router_requests_total", "Requests proxied to a shard, by shard.", "shard"),
-		RouterErrors:      reg.CounterVec("bao_router_proxy_errors_total", "Proxy transport failures, by shard (each marks the shard down and fails over).", "shard"),
+		RouterErrors:      reg.CounterVec("bao_router_proxy_errors_total", "Proxy transport failures, by shard (only dial failures demote and fail over; client cancels and slow-shard timeouts do not).", "shard"),
 		RouterSeconds:     reg.Histogram("bao_router_request_seconds", "Router end-to-end request wall time (tenant resolution + proxy hop).", lat),
 		RouterHealthy:     reg.Gauge("bao_router_shards_healthy", "Shards currently routable (healthy and not draining)."),
 		RouterRehashes:    reg.Counter("bao_router_ring_rehashes_total", "Consistent-hash ring rebuilds after shard membership or health changes."),

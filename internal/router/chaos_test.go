@@ -190,6 +190,12 @@ func runFleetChaos(t *testing.T, workers int) {
 	// survivor, rebuilt from its namespace.
 	for _, tn := range all {
 		resp, out := f.query(t, tn, nil)
+		if resp.StatusCode == http.StatusBadGateway {
+			// A stale pooled connection to the dead shard surfaces as a
+			// mid-exchange error: it demotes the shard but POSTs are not
+			// replayed (idempotency bound), so retry as a client would.
+			resp, out = f.query(t, tn, nil)
+		}
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("post-kill query for %s: code %d (%v)", tn, resp.StatusCode, out)
 		}

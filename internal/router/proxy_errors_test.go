@@ -1,0 +1,246 @@
+package baorouter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bao/internal/obs"
+)
+
+// newStubFleet builds a router over httptest backends — no real shards,
+// so tests can script exactly how a "shard" misbehaves (hang, hijack,
+// stay healthy while drained). Shard names iterate in the order given.
+func newStubFleet(t *testing.T, names []string, handlers map[string]http.HandlerFunc, mutate func(*RouterConfig)) *Router {
+	t.Helper()
+	var infos []ShardInfo
+	for _, name := range names {
+		srv := httptest.NewServer(handlers[name])
+		t.Cleanup(srv.Close)
+		infos = append(infos, ShardInfo{Name: name, URL: srv.URL})
+	}
+	cfg := RouterConfig{Shards: infos, Observer: obs.NewObserver(obs.NewRegistry(), nil)}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx) //nolint:errcheck // teardown
+	})
+	return rt
+}
+
+// tenantOwnedBy scans tenant names until one hashes to the wanted shard.
+func tenantOwnedBy(t *testing.T, rt *Router, shard string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		tn := fmt.Sprintf("tenant-%d", i)
+		if rt.Owner(tn) == shard {
+			return tn
+		}
+	}
+	t.Fatalf("no tenant hashed to %s", shard)
+	return ""
+}
+
+// TestRouterClientCancelDoesNotDemote pins the blast-radius contract
+// for impatient clients: a request whose own context dies while the
+// shard is merely slow must not mark anything down — one cancelled
+// request used to iterate the failover loop and empty the entire ring,
+// with no re-admission path when health polling is off (the library
+// default).
+func TestRouterClientCancelDoesNotDemote(t *testing.T) {
+	slow := func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}
+	rt := newStubFleet(t, []string{"a", "b"},
+		map[string]http.HandlerFunc{"a": slow, "b": slow}, nil)
+	tenant := tenantOwnedBy(t, rt, "a")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+rt.Addr()+"/v1/query", bytes.NewReader([]byte(`{"sql": "SELECT 1"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Bao-Tenant", tenant)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close() //nolint:errcheck // test read side
+		t.Fatalf("expected the client's deadline to fire, got status %d", resp.StatusCode)
+	}
+	// Give the router's handler time to observe the cancel and classify.
+	time.Sleep(200 * time.Millisecond)
+	if got := rt.ring.Len(); got != 2 {
+		t.Fatalf("ring has %d shards after a client cancel, want 2 (cancel must not demote)", got)
+	}
+	if owner := rt.Owner(tenant); owner != "a" {
+		t.Fatalf("tenant rehashed to %q after a client cancel, want a", owner)
+	}
+}
+
+// TestRouterSlowShardTimeoutDoesNotDemote covers the proxy client's own
+// timeout: a slow shard earns the caller a 504, not a demotion.
+func TestRouterSlowShardTimeoutDoesNotDemote(t *testing.T) {
+	slow := func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}
+	rt := newStubFleet(t, []string{"a", "b"},
+		map[string]http.HandlerFunc{"a": slow, "b": slow},
+		func(c *RouterConfig) { c.Client = &http.Client{Timeout: 100 * time.Millisecond} })
+	tenant := tenantOwnedBy(t, rt, "a")
+
+	req, err := http.NewRequest(http.MethodPost,
+		"http://"+rt.Addr()+"/v1/query", bytes.NewReader([]byte(`{"sql": "SELECT 1"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Bao-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test read side
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow shard: status %d, want 504", resp.StatusCode)
+	}
+	if got := rt.ring.Len(); got != 2 {
+		t.Fatalf("ring has %d shards after a slow-shard timeout, want 2", got)
+	}
+}
+
+// TestRouterMidstreamFailureNotReplayed pins the idempotency contract:
+// a shard that dies after receiving the request (connection slammed
+// mid-exchange) is demoted, but the request is NOT replayed on the next
+// owner — /v1/query appends experience, and a replay would double-apply
+// it. Only dial failures, which prove the shard never saw the request,
+// fail over.
+func TestRouterMidstreamFailureNotReplayed(t *testing.T) {
+	var hitsA, hitsB atomic.Int32
+	slam := func(w http.ResponseWriter, r *http.Request) {
+		hitsA.Add(1)
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close() //nolint:errcheck // the point is the slam
+	}
+	ok := func(w http.ResponseWriter, r *http.Request) {
+		hitsB.Add(1)
+	}
+	rt := newStubFleet(t, []string{"a", "b"},
+		map[string]http.HandlerFunc{"a": slam, "b": ok}, nil)
+	tenant := tenantOwnedBy(t, rt, "a")
+
+	req, err := http.NewRequest(http.MethodPost,
+		"http://"+rt.Addr()+"/v1/query", bytes.NewReader([]byte(`{"sql": "SELECT 1"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Bao-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test read side
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("mid-exchange failure: status %d, want 502", resp.StatusCode)
+	}
+	if got := hitsA.Load(); got != 1 {
+		t.Fatalf("owner shard saw %d requests, want 1", got)
+	}
+	if got := hitsB.Load(); got != 0 {
+		t.Fatalf("request replayed on the next owner %d times, want 0 (double-apply)", got)
+	}
+	// The shard-side fault still demotes: the tenant's next request (a
+	// fresh one from the client) lands on the survivor.
+	if got := rt.ring.Len(); got != 1 {
+		t.Fatalf("ring has %d shards after a mid-exchange shard fault, want 1", got)
+	}
+	if owner := rt.Owner(tenant); owner != "b" {
+		t.Fatalf("tenant owned by %q after demotion, want b", owner)
+	}
+}
+
+// TestRouterDrainHoldsUnderHealthPolling reproduces the decommission
+// race: a drained shard keeps answering 200 (its readiness is
+// preload-based), so the health poller would re-admit it within one
+// poll interval and route traffic back onto the shard being taken down.
+// The drain must stick until an operator MarkUp ends it.
+func TestRouterDrainHoldsUnderHealthPolling(t *testing.T) {
+	healthy := func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/health":
+			fmt.Fprint(w, `{"live":true,"ready":true}`)
+		case "/v1/drain":
+			fmt.Fprint(w, `{"evicted":0}`)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}
+	rt := newStubFleet(t, []string{"a", "b"},
+		map[string]http.HandlerFunc{"a": healthy, "b": healthy},
+		func(c *RouterConfig) { c.HealthInterval = 20 * time.Millisecond })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Several poll intervals pass; every probe of the drained shard
+	// succeeds, and none may re-admit it.
+	time.Sleep(200 * time.Millisecond)
+	if got := rt.ring.Len(); got != 1 {
+		t.Fatalf("ring has %d shards while draining, want 1 (health poll revived the drained shard)", got)
+	}
+	var fleetResp struct {
+		Shards []struct {
+			Name     string `json:"name"`
+			Healthy  bool   `json:"healthy"`
+			Draining bool   `json:"draining"`
+		} `json:"shards"`
+	}
+	r, err := http.Get("http://" + rt.Addr() + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close() //nolint:errcheck // test read side
+	if err := json.NewDecoder(r.Body).Decode(&fleetResp); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fleetResp.Shards {
+		if s.Name == "a" && (!s.Draining || s.Healthy) {
+			t.Fatalf("fleet reports drained shard as %+v, want draining and not healthy", s)
+		}
+	}
+	// Only the operator ends a drain.
+	rt.MarkUp("a")
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.ring.Len() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring has %d shards after MarkUp, want 2", rt.ring.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -44,10 +45,16 @@ type RouterConfig struct {
 	Observer *obs.Observer
 }
 
-// shardState tracks one shard's reachability.
+// shardState tracks one shard's reachability and administrative state.
 type shardState struct {
 	info ShardInfo
 	down bool
+	// draining marks an operator decision (Drain) that outlives health
+	// probes: the shard may answer 200 — its readiness is preload-based
+	// and stays true after a drain — but it is being decommissioned, so
+	// the health poller must not re-admit it. Only an explicit MarkUp
+	// clears it.
+	draining bool
 }
 
 // Router consistent-hashes tenants onto shards and reverse-proxies
@@ -136,12 +143,26 @@ func (rt *Router) MarkDown(name string) {
 	rt.o.RouterHealthy.Set(float64(rt.ring.Len()))
 }
 
-// MarkUp returns a shard to rotation, rehashing its tenants back.
+// MarkUp returns a shard to rotation, rehashing its tenants back. This
+// is the operator action that also ends a Drain: it clears the draining
+// flag, so a passing health probe can never undo a drain on its own.
 // Idempotent.
 func (rt *Router) MarkUp(name string) {
 	rt.mu.Lock()
+	if s := rt.shards[name]; s != nil {
+		s.draining = false
+	}
+	rt.mu.Unlock()
+	rt.markUpFromProbe(name)
+}
+
+// markUpFromProbe promotes a shard back into the ring unless it is
+// draining — the health poller's re-admission path, which must never
+// override an operator's drain.
+func (rt *Router) markUpFromProbe(name string) {
+	rt.mu.Lock()
 	s := rt.shards[name]
-	if s == nil || !s.down {
+	if s == nil || s.draining || !s.down {
 		rt.mu.Unlock()
 		return
 	}
@@ -156,9 +177,14 @@ func (rt *Router) MarkUp(name string) {
 // resident tenant so their namespaces are cleanly synced before the
 // survivors activate them. This is planned rebalancing; MarkDown alone
 // is the unplanned (crash) path, where replay absorbs the missing flush.
+// The shard stays out of rotation — even if its health probe passes —
+// until an explicit MarkUp, which is what ends the drain.
 func (rt *Router) Drain(ctx context.Context, name string) error {
 	rt.mu.Lock()
 	s := rt.shards[name]
+	if s != nil {
+		s.draining = true
+	}
 	rt.mu.Unlock()
 	if s == nil {
 		return fmt.Errorf("baorouter: unknown shard %q", name)
@@ -219,14 +245,15 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type row struct {
-		Name    string `json:"name"`
-		URL     string `json:"url"`
-		Healthy bool   `json:"healthy"`
+		Name     string `json:"name"`
+		URL      string `json:"url"`
+		Healthy  bool   `json:"healthy"`
+		Draining bool   `json:"draining,omitempty"`
 	}
 	rt.mu.Lock()
 	rows := make([]row, 0, len(rt.shards))
 	for _, s := range rt.shards {
-		rows = append(rows, row{s.info.Name, s.info.URL, !s.down})
+		rows = append(rows, row{s.info.Name, s.info.URL, !s.down, s.draining})
 	}
 	rt.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -252,10 +279,24 @@ func (rt *Router) tenantOf(r *http.Request, body []byte) string {
 	return rt.cfg.DefaultTenant
 }
 
+// statusClientClosedRequest mirrors nginx's 499: the client went away
+// (or its deadline fired) before the shard answered. Distinct from 502
+// so dashboards never conflate impatient clients with dead shards.
+const statusClientClosedRequest = 499
+
 // proxy forwards one /v1/* request to the tenant's owning shard. The
-// body is buffered up front so a transport failure can mark the shard
+// body is buffered up front so a dial failure — the one transport error
+// that proves the shard never saw the request — can mark the shard
 // down, rehash, and replay the identical request against the next owner
-// — the client sees one request; the fleet sees a failover.
+// within the same client call. Errors caused by the client's own
+// context (disconnect, deadline) or by a merely-slow shard (the proxy
+// client's timeout) never demote anyone: a cancelled request must not
+// be able to empty the ring. A failure mid-exchange demotes the shard
+// but replays only idempotent methods, because the shard may already
+// have applied the request (/v1/query appends experience; /v1/feedback
+// is not idempotent) and a replay would double-apply it — a POST that
+// dies mid-exchange answers 502 once, and the client's retry lands on
+// the new owner.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
@@ -295,13 +336,41 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.forward(r, s, tenant, reqID, body)
 		if err != nil {
-			// Transport failure: the shard is unreachable. Take it out of
-			// the ring (rehashing its tenants) and retry on the new owner.
-			lastErr = err
 			rt.o.RouterErrors.With(owner).Inc()
-			rt.MarkDown(owner)
-			rt.o.RouterFailovers.Inc()
-			continue
+			switch classifyProxyError(r, err) {
+			case proxyErrClient:
+				// The client hung up or its own deadline fired; the shard
+				// did nothing wrong. No demotion, no retry.
+				http.Error(w, "client closed request: "+err.Error(), statusClientClosedRequest)
+			case proxyErrSlow:
+				// The proxy client's timeout on a merely-slow shard. Slow
+				// is not dead: demoting here would let one overloaded
+				// request storm blackhole the fleet.
+				http.Error(w, "shard timed out: "+err.Error(), http.StatusGatewayTimeout)
+			case proxyErrDial:
+				// Connection establishment failed: the shard never saw the
+				// request, so replaying it on the next owner is safe. Take
+				// the shard out of the ring (rehashing its tenants) and
+				// retry.
+				lastErr = err
+				rt.MarkDown(owner)
+				rt.o.RouterFailovers.Inc()
+				continue
+			default:
+				// Mid-exchange failure (reset, EOF): a genuine shard-side
+				// fault, so demote — but the shard may have applied the
+				// request before dying, so only provably idempotent
+				// methods replay. A POST answers 502 and the client's own
+				// retry lands on the new owner.
+				rt.MarkDown(owner)
+				if idempotentMethod(r.Method) {
+					lastErr = err
+					rt.o.RouterFailovers.Inc()
+					continue
+				}
+				http.Error(w, "shard failed mid-request: "+err.Error(), http.StatusBadGateway)
+			}
+			return
 		}
 		rt.o.RouterRequests.With(owner).Inc()
 		rt.relay(w, resp, owner)
@@ -313,6 +382,51 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
+}
+
+// proxyError kinds, in blame order: the client, a slow shard, a shard
+// that was never reached, a shard that died mid-exchange.
+type proxyError int
+
+const (
+	proxyErrClient proxyError = iota // client ctx canceled / deadline fired
+	proxyErrSlow                     // proxy client timeout; shard alive but slow
+	proxyErrDial                     // connection never established; replay is safe
+	proxyErrMidstream                // failed after the shard may have seen the request
+)
+
+// classifyProxyError decides who to blame for a forward failure. The
+// client's own context is checked first: when the inbound request is
+// canceled, every downstream error is just its echo. Dial failures are
+// checked before timeouts because a dial timeout (blackholed host)
+// still proves the request never reached the shard.
+func classifyProxyError(r *http.Request, err error) proxyError {
+	if r.Context().Err() != nil {
+		return proxyErrClient
+	}
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return proxyErrDial
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return proxyErrSlow
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return proxyErrSlow
+	}
+	return proxyErrMidstream
+}
+
+// idempotentMethod reports whether a request may be replayed even when
+// the first attempt might already have been applied (RFC 9110 §9.2.2's
+// idempotent set, minus PUT/DELETE which this API does not use).
+func idempotentMethod(m string) bool {
+	switch m {
+	case http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodTrace:
+		return true
+	}
+	return false
 }
 
 // forward issues the shard-side copy of the client request.
@@ -356,7 +470,10 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, owner string
 // healthLoop polls every shard's readiness probe, marking unreachable
 // or unready shards down and recovered ones back up. Failover does not
 // depend on it — transport errors demote a shard inline — so this is
-// the re-admission path for shards that come back.
+// the re-admission path for shards that come back. Draining shards are
+// skipped entirely: a drained shard keeps answering 200 (its readiness
+// is preload-based), but the drain is an operator decision that only an
+// operator MarkUp reverses.
 func (rt *Router) healthLoop() {
 	t := time.NewTicker(rt.cfg.HealthInterval)
 	defer t.Stop()
@@ -369,12 +486,15 @@ func (rt *Router) healthLoop() {
 		rt.mu.Lock()
 		infos := make([]ShardInfo, 0, len(rt.shards))
 		for _, s := range rt.shards {
+			if s.draining {
+				continue
+			}
 			infos = append(infos, s.info)
 		}
 		rt.mu.Unlock()
 		for _, si := range infos {
 			if rt.probe(si) {
-				rt.MarkUp(si.Name)
+				rt.markUpFromProbe(si.Name)
 			} else {
 				rt.MarkDown(si.Name)
 			}

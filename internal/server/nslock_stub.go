@@ -1,0 +1,17 @@
+//go:build !unix
+
+package baoserver
+
+import "time"
+
+// namespaceLock is a no-op on platforms without flock: tenant
+// namespaces are unfenced there, and the multi-owner guarantee degrades
+// to the documented convention that shards must not share a namespace
+// root across failure domains where partitions are possible.
+type namespaceLock struct{}
+
+func lockNamespace(dir string, timeout time.Duration) (*namespaceLock, error) {
+	return &namespaceLock{}, nil
+}
+
+func (l *namespaceLock) Unlock() error { return nil }

@@ -1,0 +1,86 @@
+//go:build unix
+
+package baoserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bao/internal/obs"
+)
+
+// TestTenantNamespaceFencing pins the one-namespace-one-writer fence:
+// two registries sharing a namespace root (two shards after a network
+// partition, not a crash) must never both hold a tenant resident —
+// the second activation fails against the first owner's lock instead
+// of opening an explog the first owner is still appending to.
+func TestTenantNamespaceFencing(t *testing.T) {
+	dir := t.TempDir()
+	newReg := func(lockTimeout time.Duration) *TenantRegistry {
+		o := obs.NewObserver(obs.NewRegistry(), nil)
+		reg, err := NewTenantRegistry(TenantOptions{
+			Dir:         dir,
+			NewBao:      microFactory(o, 1),
+			LockTimeout: lockTimeout,
+		}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	ctx := context.Background()
+	owner := newReg(0)
+	intruder := newReg(150 * time.Millisecond)
+	t.Cleanup(func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		owner.Close(shutCtx)    //nolint:errcheck // teardown
+		intruder.Close(shutCtx) //nolint:errcheck // teardown
+	})
+
+	e, err := owner.Acquire(ctx, "contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queryTenant(e) != 200 {
+		t.Fatal("owner's query failed")
+	}
+	owner.Release(e)
+
+	// The tenant is resident (not evicted) on owner, so its fence is
+	// held: the intruder's activation must fail, not corrupt.
+	if _, err := intruder.Acquire(ctx, "contested"); err == nil {
+		t.Fatal("second registry activated a tenant another owner holds resident")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("activation failed for the wrong reason: %v", err)
+	}
+
+	// A clean handoff — flush-evict on the owner — releases the fence,
+	// and the intruder rehydrates the full history.
+	if !owner.EvictTenant(ctx, "contested") {
+		t.Fatal("owner could not evict the contested tenant")
+	}
+	e2, err := intruder.Acquire(ctx, "contested")
+	if err != nil {
+		t.Fatalf("activation after the owner released: %v", err)
+	}
+	if got := e2.srv.Bao().ExperienceSize(); got < 1 {
+		t.Fatalf("handoff lost history: %d experiences replayed, want ≥1", got)
+	}
+	intruder.Release(e2)
+
+	// Crash handoff: Kill drains the intruder's trainers and drops its
+	// fences before returning, so a new owner may reopen immediately.
+	intruder.Kill()
+	successor := newReg(time.Second)
+	e3, err := successor.Acquire(ctx, "contested")
+	if err != nil {
+		t.Fatalf("activation after Kill released the fence: %v", err)
+	}
+	successor.Release(e3)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	successor.Close(shutCtx) //nolint:errcheck // teardown
+}

@@ -1,0 +1,75 @@
+//go:build unix
+
+package baoserver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// namespaceLock fences one tenant namespace with an exclusive advisory
+// flock on <dir>/LOCK, held from activation until the tenant's Server
+// has fully stopped writing (eviction flush done, or crash-path trainer
+// drained). It is what turns "one namespace, one writer" from a
+// convention into an enforced invariant: a router that fails a tenant
+// over while the old owner is merely partitioned — not dead — cannot
+// end up with two live Servers appending to the same bao.explog,
+// because the new owner's activation blocks on (and then fails against)
+// the old owner's lock.
+//
+// flock is per open file description, so the fence also holds between
+// two shards inside one process (the test fleet) and between processes
+// on one machine. It does NOT reach across machines on network
+// filesystems with unreliable flock semantics (e.g. some NFS setups) —
+// deployments sharing a namespace root across such a boundary must
+// ensure the filesystem propagates flock, or not share the root across
+// failure domains where partitions are possible (DESIGN.md §10).
+type namespaceLock struct {
+	f *os.File
+}
+
+// lockFileName is reserved inside every tenant namespace. Tenant names
+// never collide with it: the lock lives inside <dir>/<tenant>/, not
+// beside it.
+const lockFileName = "LOCK"
+
+// lockNamespace acquires dir's exclusive lock, polling until timeout so
+// an activation racing a finishing eviction (or a killed owner's last
+// teardown) waits briefly instead of failing spuriously.
+func lockNamespace(dir string, timeout time.Duration) (*namespaceLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("baoserver: open namespace lock: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return &namespaceLock{f: f}, nil
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			f.Close() //nolint:errcheck // lock never acquired
+			return nil, fmt.Errorf("baoserver: lock namespace %s: %w", dir, err)
+		}
+		if time.Now().After(deadline) {
+			f.Close() //nolint:errcheck // lock never acquired
+			return nil, fmt.Errorf("baoserver: namespace %s is locked by another owner (fencing: one namespace, one writer)", dir)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Unlock releases the fence. Closing the file drops the flock
+// atomically with releasing the descriptor.
+func (l *namespaceLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -48,6 +48,13 @@ type TenantOptions struct {
 	BaseBytes int64
 	// EvictTimeout bounds one eviction's flush (0 = 30s).
 	EvictTimeout time.Duration
+	// LockTimeout bounds how long an activation waits for the tenant's
+	// namespace fence — the exclusive per-namespace file lock that
+	// guarantees one live writer per explog even when ownership moves
+	// between shards (0 = 5s). An activation that cannot acquire the
+	// fence fails rather than opening a namespace another owner is
+	// still writing.
+	LockTimeout time.Duration
 }
 
 // tenantNameRe is the path-safe tenant grammar: no separators, no dot
@@ -70,14 +77,30 @@ type tenantEntry struct {
 	lastUse uint64
 	bytes   int64
 
-	ready   chan struct{} // closed when activation finished (srv or err set)
-	gone    chan struct{} // closed when the entry left the registry
-	srv     *Server
-	handler http.Handler
-	err     error
+	ready    chan struct{} // closed when activation finished (srv or err set)
+	gone     chan struct{} // closed when the entry left the registry
+	goneOnce sync.Once     // evict and Kill may race on one entry; gone closes once
+	lock     *namespaceLock
+	srv      *Server
+	handler  http.Handler
+	err      error
 
 	active   bool // srv is usable (set under the registry lock)
 	evicting bool
+}
+
+// markGone releases the entry's namespace fence and closes gone,
+// exactly once. Both teardown paths — evict's flush and Kill's crash —
+// can reach the same entry when a Kill races an in-flight activation;
+// the Once makes the overlap harmless instead of a double-close panic.
+// The fence is released only here, after the path that ran has stopped
+// the tenant's Server, so a new owner can never acquire the namespace
+// while this one might still write.
+func (e *tenantEntry) markGone() {
+	e.goneOnce.Do(func() {
+		e.lock.Unlock() //nolint:errcheck // fence release; close error is unactionable
+		close(e.gone)
+	})
 }
 
 // TenantRegistry owns a shard's resident tenants: one headless Server
@@ -117,6 +140,9 @@ func NewTenantRegistry(opts TenantOptions, o *obs.Observer) (*TenantRegistry, er
 	}
 	if opts.EvictTimeout <= 0 {
 		opts.EvictTimeout = 30 * time.Second
+	}
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = 5 * time.Second
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("baoserver: tenant dir: %w", err)
@@ -192,15 +218,21 @@ func (r *TenantRegistry) Release(e *tenantEntry) {
 }
 
 // activate builds the tenant's Server against its durable namespace:
+// the namespace fence (an exclusive file lock) is acquired first, then
 // Dir/<tenant>/bao.explog is replayed into the window and the newest
 // valid checkpoint generation under Dir/<tenant>/checkpoints/ restores
 // the model — the same startup path a single-tenant baoserver runs,
-// which is exactly why a dead shard's tenants rebuild anywhere.
+// which is exactly why a dead shard's tenants rebuild anywhere. The
+// fence guarantees the rebuild never overlaps a previous owner that is
+// still writing (partitioned, not dead).
 func (r *TenantRegistry) activate(e *tenantEntry) {
 	start := time.Now()
 	dir := filepath.Join(r.opts.Dir, e.name)
 	var srv *Server
 	err := os.MkdirAll(dir, 0o755)
+	if err == nil {
+		e.lock, err = lockNamespace(dir, r.opts.LockTimeout)
+	}
 	if err == nil {
 		var b *core.Bao
 		if b, err = r.opts.NewBao(e.name); err == nil {
@@ -215,9 +247,12 @@ func (r *TenantRegistry) activate(e *tenantEntry) {
 	if err != nil {
 		e.err = fmt.Errorf("baoserver: activate tenant %s: %w", e.name, err)
 		delete(r.resident, e.name)
-		close(e.ready)
-		close(e.gone)
 		r.mu.Unlock()
+		close(e.ready)
+		// markGone, not close(e.gone): a concurrent Kill snapshotted this
+		// entry (it entered the map in Acquire) and will also tear it
+		// down after <-e.ready; the Once keeps that overlap safe.
+		e.markGone()
 		return
 	}
 	e.srv = srv
@@ -232,14 +267,14 @@ func (r *TenantRegistry) activate(e *tenantEntry) {
 	if replayed, _ := srv.Log().Replayed(); replayed > 0 {
 		r.o.TenantRehydrated.Inc()
 	}
-	closedNow := r.closed
 	r.mu.Unlock()
 	close(e.ready)
-	if closedNow {
-		// Lost the race with Close/Kill: the closer snapshotted before we
-		// were in the map, so tear down here.
-		r.evict(e)
-	}
+	// If a Kill raced this activation (it set closed and emptied the map
+	// after our Acquire inserted the entry), teardown belongs to Kill:
+	// its snapshot necessarily includes this entry, and its loop is
+	// blocked on <-e.ready right now. Tearing down here as well would
+	// run two teardowns on one entry — the double-close panic the crash
+	// path used to have.
 }
 
 // modelBytes sizes a tenant's resident model by serializing it through a
@@ -293,19 +328,24 @@ func (r *TenantRegistry) enforce() {
 
 // evict flushes one tenant out of residency: its Server shuts down
 // (trainer drains, explog syncs, checkpoints already on disk), then the
-// entry leaves the registry and waiters on gone may re-activate.
+// entry leaves the registry, its namespace fence drops, and waiters on
+// gone may re-activate.
 func (r *TenantRegistry) evict(e *tenantEntry) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.opts.EvictTimeout)
 	e.srv.Shutdown(ctx) //nolint:errcheck // flush is best effort under the timeout
 	cancel()
 	r.mu.Lock()
-	delete(r.resident, e.name)
-	r.bytes -= e.bytes
-	r.o.TenantEvictions.Inc()
-	r.o.TenantsResident.Set(float64(len(r.resident)))
-	r.o.TenantBytes.Set(float64(r.bytes))
+	if _, resident := r.resident[e.name]; resident {
+		// A Kill racing this eviction empties the map and zeroes the byte
+		// ledger itself; adjusting it again here would drive it negative.
+		delete(r.resident, e.name)
+		r.bytes -= e.bytes
+		r.o.TenantEvictions.Inc()
+		r.o.TenantsResident.Set(float64(len(r.resident)))
+		r.o.TenantBytes.Set(float64(r.bytes))
+	}
 	r.mu.Unlock()
-	close(e.gone)
+	e.markGone()
 }
 
 // Resident returns the names of currently resident tenants.
@@ -440,11 +480,11 @@ func (r *TenantRegistry) Kill() {
 		if e.srv != nil {
 			e.srv.Kill()
 		}
-		select {
-		case <-e.gone:
-		default:
-			close(e.gone)
-		}
+		// markGone: an entry mid-eviction (or a failed activation) may
+		// have torn itself down concurrently; the Once on gone makes the
+		// overlap safe, and the namespace fence drops only after the
+		// Server stopped writing, whichever path got here first.
+		e.markGone()
 	}
 }
 
