@@ -1,0 +1,126 @@
+package bao_test
+
+// BenchmarkExecutorBatchVsTuple measures the batch-streaming executor
+// rework against the legacy tuple-at-a-time pipeline on two plan shapes:
+// join-heavy (a large hash join whose output feeds an aggregate — the
+// batch pipeline streams the join output into the aggregate instead of
+// materializing it, with a pre-sized build table and allocation-free
+// probe keys) and scan-heavy (a filtered sequential scan under an
+// aggregate, where batching mainly avoids the full scan materialization).
+// Counters are asserted byte-identical across all modes before timing:
+// the rework changes wall-clock only, never the simulated clock the
+// experiments report.
+
+import (
+	"fmt"
+	"testing"
+
+	"bao/internal/catalog"
+	"bao/internal/engine"
+	"bao/internal/executor"
+	"bao/internal/planner"
+	"bao/internal/storage"
+)
+
+// benchExecutorEngine builds l(a) joined by r(b) plus a wide scan table.
+func benchExecutorEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	e := engine.New(engine.GradePostgreSQL, 4096)
+	e.CreateTable(catalog.MustTable("l", catalog.Column{Name: "a", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("r", catalog.Column{Name: "b", Type: catalog.Int}))
+	e.CreateTable(catalog.MustTable("s", catalog.Column{Name: "v", Type: catalog.Int}))
+	lrows := make([]storage.Row, 120000)
+	for i := range lrows {
+		lrows[i] = storage.Row{storage.IntVal(int64(i % 30000))}
+	}
+	rrows := make([]storage.Row, 60000)
+	for i := range rrows {
+		rrows[i] = storage.Row{storage.IntVal(int64(i % 30000))}
+	}
+	srows := make([]storage.Row, 400000)
+	for i := range srows {
+		srows[i] = storage.Row{storage.IntVal(int64(i % 100000))}
+	}
+	for name, rows := range map[string][]storage.Row{"l": lrows, "r": rrows, "s": srows} {
+		if err := e.Insert(name, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Analyze()
+	return e
+}
+
+func BenchmarkExecutorBatchVsTuple(b *testing.B) {
+	e := benchExecutorEngine(b)
+	shapes := []struct {
+		name  string
+		sql   string
+		hints planner.Hints
+	}{
+		// Join output is 2× the probe side; the aggregate consumes it.
+		{"join_heavy", "SELECT COUNT(*), MAX(l.a) FROM l, r WHERE l.a = r.b", planner.Hints{HashJoin: true, SeqScan: true}},
+		{"scan_heavy", "SELECT COUNT(*), MAX(s.v) FROM s WHERE s.v BETWEEN 1000 AND 80000", planner.Hints{SeqScan: true}},
+	}
+	modes := []struct {
+		name    string
+		tuple   bool
+		workers int
+	}{
+		{"tuple", true, 1},
+		{"batch_w1", false, 1},
+		{"batch_w4", false, 4},
+	}
+	for _, shape := range shapes {
+		plan, err := e.PlanSQL(shape.sql, shape.hints)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the buffer pool to its steady state for this shape, so the
+		// parity gate and the timed loops all see the same LRU contents
+		// (the first execution of a shape takes the cold misses).
+		e.Exec.Tuple = true
+		e.Exec.Workers = 1
+		if _, err := e.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+		// Parity gate: all modes must produce identical rows and charge
+		// identical counters for the shape before any of them is timed.
+		var refRows string
+		var refC executor.Counters
+		for i, m := range modes {
+			e.Exec.Tuple = m.tuple
+			e.Exec.Workers = m.workers
+			e.Exec.ResetCounters()
+			res, err := e.Execute(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				refRows, refC = fmt.Sprint(res.Rows), e.Exec.C
+				continue
+			}
+			if fmt.Sprint(res.Rows) != refRows {
+				b.Fatalf("%s/%s: rows diverge from tuple pipeline", shape.name, m.name)
+			}
+			if e.Exec.C != refC {
+				b.Fatalf("%s/%s: counters %+v diverge from tuple pipeline %+v", shape.name, m.name, e.Exec.C, refC)
+			}
+		}
+		for _, m := range modes {
+			b.Run(shape.name+"/"+m.name, func(b *testing.B) {
+				e.Exec.Tuple = m.tuple
+				e.Exec.Workers = m.workers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Exec.ResetCounters()
+					if _, err := e.Execute(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+				recordBenchWorkers(b, 1, m.workers)
+			})
+		}
+	}
+	e.Exec.Tuple = false
+	e.Exec.Workers = 0
+}

@@ -121,3 +121,24 @@ func TestDeadlineBudgetSecs(t *testing.T) {
 		t.Fatal("budget not deterministic")
 	}
 }
+
+// TestCounterTimeMappingPinned pins the exact counter→simulated-time
+// mapping. The batch-streaming executor rework changed how counters are
+// accumulated (batched ticks, parallel hash-join phases) but must not
+// change what a counter is worth: CPUOps at 50e6/s, sequential misses at
+// 200µs, random reads at 600µs, pool hits at 1µs. Any drift in this
+// mapping silently rescales every learned latency, so it is asserted to
+// the exact float64.
+func TestCounterTimeMappingPinned(t *testing.T) {
+	c := executor.Counters{CPUOps: 50_000_000, PageHits: 1000, PageMisses: 2000, RandReads: 500}
+	// 1s CPU + 1500 seq misses × 200µs + 500 random × 600µs + 1000 hits × 1µs.
+	want := 1.0 + 1500*200e-6 + 500*600e-6 + 1000*1e-6
+	if got := ExecSeconds(c); got != want {
+		t.Fatalf("ExecSeconds = %v, want exactly %v", got, want)
+	}
+	// Worker counts never appear in the mapping: identical counters from
+	// any execution mode cost identical simulated time by construction.
+	if ExecSeconds(c) != ExecSeconds(c) {
+		t.Fatal("mapping not deterministic")
+	}
+}

@@ -385,6 +385,11 @@ func New(eng *engine.Engine, cfg Config) *Bao {
 	if w, ok := b.Model.(interface{ SetWorkers(int) }); ok {
 		w.SetWorkers(cfg.Workers)
 	}
+	// Intra-query executor parallelism follows the same knob (zero
+	// resolves to one worker per CPU, one forces sequential). Results and
+	// counters are worker-count invariant, so the learned latency signal
+	// is unaffected; only wall-clock improves.
+	eng.SetExecWorkers(nn.Workers(cfg.Workers))
 	// Resolve the warm-up family to indices in the configured arm list.
 	if cfg.ArmWarmup > 0 {
 		for _, top := range TopArms(6) {

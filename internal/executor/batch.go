@@ -1,0 +1,549 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bao/internal/catalog"
+	"bao/internal/planner"
+	"bao/internal/storage"
+)
+
+// batchSize is the number of tuples per pushed batch — one heap page's
+// worth, so a scan emits roughly one batch per page it reads and the
+// cancellation cadence tracks page granularity.
+const batchSize = storage.RowsPerPage
+
+// rowSink consumes one pushed batch. The slice is only valid for the
+// duration of the call (producers reuse buffers between batches); the
+// storage.Row values inside may be retained.
+type rowSink func([]storage.Row)
+
+// collect drains a subtree into a materialized slice. It is the batch
+// pipeline's root driver and its fallback for operators that inherently
+// need a whole input (sort, merge join, nested-loop sides).
+func (e *Executor) collect(n *planner.Node) ([]storage.Row, error) {
+	var out []storage.Row
+	err := e.stream(n, func(b []storage.Row) {
+		out = append(out, b...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stream pushes n's output through sink batch by batch, recording the
+// node's per-operator evaluation count and, when tracing, its actual
+// output cardinality (EXPLAIN ANALYZE sees the same numbers as the tuple
+// pipeline).
+func (e *Executor) stream(n *planner.Node, sink rowSink) error {
+	if e.Ops != nil {
+		e.Ops.With(n.Op.String()).Inc()
+	}
+	if e.Trace == nil {
+		return e.streamOp(n, sink)
+	}
+	var count int64
+	err := e.streamOp(n, func(b []storage.Row) {
+		count += int64(len(b))
+		sink(b)
+	})
+	if err == nil {
+		e.Trace[n] = count
+	}
+	return err
+}
+
+// batcher groups pushed rows into batchSize slices, reusing one buffer.
+type batcher struct {
+	buf  []storage.Row
+	sink rowSink
+}
+
+func newBatcher(sink rowSink) *batcher {
+	return &batcher{buf: make([]storage.Row, 0, batchSize), sink: sink}
+}
+
+func (b *batcher) push(r storage.Row) {
+	b.buf = append(b.buf, r)
+	if len(b.buf) >= batchSize {
+		b.flush()
+	}
+}
+
+func (b *batcher) flush() {
+	if len(b.buf) > 0 {
+		b.sink(b.buf)
+		b.buf = b.buf[:0]
+	}
+}
+
+// emitBatches pushes an already-materialized slice through sink in
+// batchSize chunks (subslices; no copying).
+func emitBatches(rows []storage.Row, sink rowSink) {
+	for i := 0; i < len(rows); i += batchSize {
+		j := i + batchSize
+		if j > len(rows) {
+			j = len(rows)
+		}
+		sink(rows[i:j])
+	}
+}
+
+// streamOp evaluates one operator in push mode. Operators that can
+// stream (scans, hash-join probe, aggregate, project, limit) never
+// materialize their own output; operators that inherently need whole
+// inputs (sort, merge join, nested loops) collect their children and emit
+// the result in batches. Child evaluation order is identical to the tuple
+// pipeline (left before right), so the LRU buffer pool sees the same page
+// access sequence and PageHits/PageMisses match byte for byte.
+func (e *Executor) streamOp(n *planner.Node, sink rowSink) error {
+	switch n.Op {
+	case planner.OpSeqScan:
+		bt := newBatcher(sink)
+		if err := e.seqScanYield(n, bt.push); err != nil {
+			return err
+		}
+		bt.flush()
+		return nil
+
+	case planner.OpIndexScan, planner.OpIndexOnlyScan:
+		if n.Param {
+			return fmt.Errorf("executor: parameterized index scan outside nested loop")
+		}
+		bt := newBatcher(sink)
+		if err := e.indexScanYield(n, bt.push); err != nil {
+			return err
+		}
+		bt.flush()
+		return nil
+
+	case planner.OpNestLoop:
+		left, err := e.collect(n.Left)
+		if err != nil {
+			return err
+		}
+		if n.Right.Param {
+			out, err := e.indexNestLoopRows(n, left)
+			if err != nil {
+				return err
+			}
+			emitBatches(out, sink)
+			return nil
+		}
+		right, err := e.collect(n.Right)
+		if err != nil {
+			return err
+		}
+		emitBatches(e.nestLoopRows(n, left, right), sink)
+		return nil
+
+	case planner.OpHashJoin:
+		return e.streamHashJoin(n, sink)
+
+	case planner.OpMergeJoin:
+		left, err := e.collect(n.Left)
+		if err != nil {
+			return err
+		}
+		right, err := e.collect(n.Right)
+		if err != nil {
+			return err
+		}
+		emitBatches(e.mergeJoinRows(n, left, right), sink)
+		return nil
+
+	case planner.OpSort:
+		rows, err := e.collect(n.Left)
+		if err != nil {
+			return err
+		}
+		e.sortRows(n, rows)
+		emitBatches(rows, sink)
+		return nil
+
+	case planner.OpAggregate:
+		agg, err := e.newAggregator(n)
+		if err != nil {
+			return err
+		}
+		if err := e.stream(n.Left, agg.feed); err != nil {
+			return err
+		}
+		emitBatches(agg.finish(), sink)
+		return nil
+
+	case planner.OpProject:
+		return e.stream(n.Left, func(b []storage.Row) {
+			sink(e.projectRows(n, b))
+		})
+
+	case planner.OpLimit:
+		remaining := n.N
+		return e.stream(n.Left, func(b []storage.Row) {
+			// The child runs to completion (billing matches the
+			// materializing pipeline); only emission is truncated.
+			if remaining <= 0 {
+				return
+			}
+			if len(b) > remaining {
+				b = b[:remaining]
+			}
+			remaining -= len(b)
+			sink(b)
+		})
+	}
+	return fmt.Errorf("executor: unsupported operator %v", n.Op)
+}
+
+// presizeHint converts a planner cardinality estimate into a hash-table
+// size hint, clamped to something sane when the estimate is wild.
+func presizeHint(est float64) int {
+	if math.IsNaN(est) || est <= 0 {
+		return 0
+	}
+	if est > 1<<20 {
+		return 1 << 20
+	}
+	return int(est)
+}
+
+// joinTable is the hash-join build table: one map when built
+// sequentially, Workers partitioned maps (routed by key hash) when built
+// in parallel. Partitioning only changes internal layout — lookups return
+// the same row lists in the same (build-input) order either way. Joins on
+// a single integer column use the intParts maps instead, skipping key
+// formatting entirely; results are identical, only lookup speed differs.
+type joinTable struct {
+	parts    []map[string][]storage.Row
+	intParts []map[int64][]storage.Row
+}
+
+func (t *joinTable) lookup(key []byte) []storage.Row {
+	if len(t.parts) == 1 {
+		return t.parts[0][string(key)]
+	}
+	return t.parts[int(fnv1a(key)%uint64(len(t.parts)))][string(key)]
+}
+
+func (t *joinTable) lookupInt(k int64) []storage.Row {
+	if len(t.intParts) == 1 {
+		return t.intParts[0][k]
+	}
+	return t.intParts[int(uint64(k)%uint64(len(t.intParts)))][k]
+}
+
+// singleIntKey reports whether the join runs on exactly one integer
+// column on both sides, enabling the integer-keyed table.
+func singleIntKey(n *planner.Node) bool {
+	return len(n.LeftKeys) == 1 && len(n.RightKeys) == 1 &&
+		n.LeftKeys[0] < len(n.Left.Cols) && n.RightKeys[0] < len(n.Right.Cols) &&
+		n.Left.Cols[n.LeftKeys[0]].Type == catalog.Int &&
+		n.Right.Cols[n.RightKeys[0]].Type == catalog.Int
+}
+
+// fnv1a hashes the key bytes (FNV-1a 64) to pick a build partition.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func fnv1aString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// parallelSpans splits [0,n) into `workers` contiguous spans and runs fn
+// on each concurrently, returning after all complete. fn must be pure
+// with respect to the Executor: no counter charges, no page accesses, no
+// ticks — those stay on the driving goroutine so Counters and Fault
+// ordinals are identical at every worker count.
+func parallelSpans(workers, n int, fn func(lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// probeRound is how many probe rows each worker handles per parallel
+// round. Rounds keep the driving goroutine's cancellation checks and
+// batch emission interleaved with probe progress instead of deferring
+// them to the end of the whole probe side.
+const probeRound = 4096
+
+// streamHashJoin builds a hash table over the right input and probes with
+// the left. The probe side is collected *first* — the tuple pipeline
+// evaluates left before right, and the LRU buffer pool is access-order
+// sensitive, so preserving that order keeps PageHits/PageMisses
+// byte-identical across pipelines. The build table is pre-sized from the
+// planner's cardinality estimate for the build side. With Workers > 1,
+// key computation, partitioned builds, and probe rounds fan out across
+// goroutines; every counter charge, page access, and cancellation check
+// stays on the driving goroutine.
+func (e *Executor) streamHashJoin(n *planner.Node, sink rowSink) error {
+	left, err := e.collect(n.Left)
+	if err != nil {
+		return err
+	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	intKey := singleIntKey(n)
+	var table joinTable
+	var buildRows int64
+	if workers == 1 {
+		table, buildRows, err = e.buildSequential(n, intKey)
+	} else {
+		table, buildRows, err = e.buildParallel(n, workers, intKey)
+	}
+	if err != nil {
+		return err
+	}
+	var outCount int64
+	counted := func(b []storage.Row) {
+		outCount += int64(len(b))
+		sink(b)
+	}
+	if workers == 1 {
+		e.probeSequential(n, &table, left, counted)
+	} else {
+		e.probeParallel(n, &table, left, workers, counted)
+	}
+	e.hashJoinCharge(buildRows, int64(len(left)), outCount)
+	return nil
+}
+
+// buildSequential streams the build side directly into one pre-sized map
+// without materializing it.
+func (e *Executor) buildSequential(n *planner.Node, intKey bool) (joinTable, int64, error) {
+	hint := presizeHint(n.Right.EstRows)
+	var count int64
+	if intKey {
+		m := make(map[int64][]storage.Row, hint)
+		rk := n.RightKeys[0]
+		err := e.stream(n.Right, func(b []storage.Row) {
+			e.tick(len(b))
+			count += int64(len(b))
+			for _, r := range b {
+				if v := r[rk]; !v.Null {
+					m[v.I] = append(m[v.I], r)
+				}
+			}
+		})
+		if err != nil {
+			return joinTable{}, 0, err
+		}
+		return joinTable{intParts: []map[int64][]storage.Row{m}}, count, nil
+	}
+	m := make(map[string][]storage.Row, hint)
+	var kb []byte
+	err := e.stream(n.Right, func(b []storage.Row) {
+		e.tick(len(b))
+		count += int64(len(b))
+		for _, r := range b {
+			var ok bool
+			kb, ok = appendRowKey(kb[:0], r, n.RightKeys)
+			if !ok {
+				continue
+			}
+			k := string(kb)
+			m[k] = append(m[k], r)
+		}
+	})
+	if err != nil {
+		return joinTable{}, 0, err
+	}
+	return joinTable{parts: []map[string][]storage.Row{m}}, count, nil
+}
+
+// buildParallel materializes the build side, computes keys across worker
+// spans, then builds one map per worker, each owning the keys that hash
+// to its partition. Per-partition insertion order is input order, so the
+// table's row lists match the sequential build exactly.
+func (e *Executor) buildParallel(n *planner.Node, workers int, intKey bool) (joinTable, int64, error) {
+	right, err := e.collect(n.Right)
+	if err != nil {
+		return joinTable{}, 0, err
+	}
+	e.tick(len(right))
+	if intKey {
+		rk := n.RightKeys[0]
+		intParts := make([]map[int64][]storage.Row, workers)
+		ihint := presizeHint(n.Right.EstRows)/workers + 1
+		var iwg sync.WaitGroup
+		for p := 0; p < workers; p++ {
+			iwg.Add(1)
+			go func(p int) {
+				defer iwg.Done()
+				m := make(map[int64][]storage.Row, ihint)
+				for _, r := range right {
+					if v := r[rk]; !v.Null && int(uint64(v.I)%uint64(workers)) == p {
+						m[v.I] = append(m[v.I], r)
+					}
+				}
+				intParts[p] = m
+			}(p)
+		}
+		iwg.Wait()
+		return joinTable{intParts: intParts}, int64(len(right)), nil
+	}
+	keys := make([]string, len(right))
+	valid := make([]bool, len(right))
+	parallelSpans(workers, len(right), func(lo, hi int) {
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			var ok bool
+			kb, ok = appendRowKey(kb[:0], right[i], n.RightKeys)
+			if ok {
+				keys[i] = string(kb)
+				valid[i] = true
+			}
+		}
+	})
+	parts := make([]map[string][]storage.Row, workers)
+	hint := presizeHint(n.Right.EstRows)/workers + 1
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m := make(map[string][]storage.Row, hint)
+			for i, k := range keys {
+				if valid[i] && int(fnv1aString(k)%uint64(workers)) == p {
+					m[k] = append(m[k], right[i])
+				}
+			}
+			parts[p] = m
+		}(p)
+	}
+	wg.Wait()
+	return joinTable{parts: parts}, int64(len(right)), nil
+}
+
+// probeSequential probes the materialized left side batch at a time.
+func (e *Executor) probeSequential(n *planner.Node, table *joinTable, left []storage.Row, sink rowSink) {
+	bt := newBatcher(sink)
+	intKey := len(table.intParts) > 0
+	lk := n.LeftKeys[0]
+	var kb []byte
+	for i := 0; i < len(left); i += batchSize {
+		j := i + batchSize
+		if j > len(left) {
+			j = len(left)
+		}
+		e.tick(j - i)
+		for _, l := range left[i:j] {
+			var matches []storage.Row
+			if intKey {
+				v := l[lk]
+				if v.Null {
+					continue
+				}
+				matches = table.lookupInt(v.I)
+			} else {
+				var ok bool
+				kb, ok = appendRowKey(kb[:0], l, n.LeftKeys)
+				if !ok {
+					continue
+				}
+				matches = table.lookup(kb)
+			}
+			for _, r := range matches {
+				bt.push(joinRows(l, r))
+			}
+		}
+	}
+	bt.flush()
+}
+
+// probeParallel probes the left side in rounds of workers×probeRound
+// rows: workers produce per-span outputs concurrently, then the driving
+// goroutine ticks and emits them in span order, so output order and
+// cancellation behavior match the sequential probe.
+func (e *Executor) probeParallel(n *planner.Node, table *joinTable, left []storage.Row, workers int, sink rowSink) {
+	outs := make([][]storage.Row, workers)
+	for start := 0; start < len(left); start += workers * probeRound {
+		end := start + workers*probeRound
+		if end > len(left) {
+			end = len(left)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < workers; p++ {
+			lo := start + p*probeRound
+			if lo >= end {
+				outs[p] = nil
+				continue
+			}
+			hi := lo + probeRound
+			if hi > end {
+				hi = end
+			}
+			wg.Add(1)
+			go func(p, lo, hi int) {
+				defer wg.Done()
+				outs[p] = probeSpan(n, table, left[lo:hi])
+			}(p, lo, hi)
+		}
+		wg.Wait()
+		e.tick(end - start)
+		for p := 0; p < workers; p++ {
+			emitBatches(outs[p], sink)
+		}
+	}
+}
+
+// probeSpan probes one contiguous span of the left side. Pure compute: it
+// never touches the Executor, so it is safe on a worker goroutine.
+func probeSpan(n *planner.Node, table *joinTable, span []storage.Row) []storage.Row {
+	var out []storage.Row
+	if len(table.intParts) > 0 {
+		lk := n.LeftKeys[0]
+		for _, l := range span {
+			v := l[lk]
+			if v.Null {
+				continue
+			}
+			for _, r := range table.lookupInt(v.I) {
+				out = append(out, joinRows(l, r))
+			}
+		}
+		return out
+	}
+	var kb []byte
+	for _, l := range span {
+		var ok bool
+		kb, ok = appendRowKey(kb[:0], l, n.LeftKeys)
+		if !ok {
+			continue
+		}
+		for _, r := range table.lookup(kb) {
+			out = append(out, joinRows(l, r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bao/internal/catalog"
+	"bao/internal/planner"
+	"bao/internal/sqlparser"
+	"bao/internal/storage"
+)
+
+// TestHashJoinWorkerDeterminism runs a duplicate-heavy hash join (NULL
+// keys included, probe side large enough for several parallel rounds)
+// at many worker counts and requires rows and Counters byte-identical to
+// the tuple pipeline's output at every one.
+func TestHashJoinWorkerDeterminism(t *testing.T) {
+	build := func() (*fixture, *planner.Node) {
+		f := newFixture(4096)
+		lt := storage.NewTable(catalog.MustTable("l", catalog.Column{Name: "a", Type: catalog.Int}))
+		for i := 0; i < 20000; i++ {
+			if i%7 == 0 {
+				lt.AppendRow(storage.Row{storage.NullVal(catalog.Int)})
+			} else {
+				lt.AppendRow(storage.Row{storage.IntVal(int64(i % 500))})
+			}
+		}
+		f.db.AddTable(lt)
+		rt := storage.NewTable(catalog.MustTable("r", catalog.Column{Name: "b", Type: catalog.Int}))
+		for i := 0; i < 5000; i++ {
+			if i%11 == 0 {
+				rt.AppendRow(storage.Row{storage.NullVal(catalog.Int)})
+			} else {
+				rt.AppendRow(storage.Row{storage.IntVal(int64(i % 700))})
+			}
+		}
+		f.db.AddTable(rt)
+		ln, rn := scanNode("l", "a"), scanNode("r", "b")
+		jn := &planner.Node{Op: planner.OpHashJoin, Left: ln, Right: rn,
+			LeftKeys: []int{0}, RightKeys: []int{0},
+			Cols:     append(append([]planner.OutCol{}, ln.Cols...), rn.Cols...),
+			SortedBy: -1}
+		// Deliberately wrong cardinality estimate: pre-sizing is a hint,
+		// never a correctness input.
+		jn.Right.EstRows = 17
+		return f, jn
+	}
+	f0, n0 := build()
+	f0.ex.Tuple = true
+	wantRows, err := f0.ex.Run(n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f0.ex.C
+	for _, workers := range []int{0, 1, 2, 3, 4, 8} {
+		f, n := build()
+		f.ex.Workers = workers
+		rows, err := f.ex.Run(n)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(rows, wantRows) {
+			t.Fatalf("workers=%d: rows diverge from tuple pipeline", workers)
+		}
+		if f.ex.C != want {
+			t.Fatalf("workers=%d: counters %+v, want %+v", workers, f.ex.C, want)
+		}
+	}
+}
+
+// TestHashJoinPresizeWildEstimates feeds the pre-sizing hint hostile
+// estimates; results and counters must not depend on it.
+func TestHashJoinPresizeWildEstimates(t *testing.T) {
+	for _, est := range []float64{math.NaN(), math.Inf(1), -5, 0, 1e18} {
+		f, jn := joinFixtureT(planner.OpHashJoin, mod(300, 50), mod(200, 40))
+		jn.Right.EstRows = est
+		rows, err := f.ex.Run(jn)
+		if err != nil {
+			t.Fatalf("est=%v: %v", est, err)
+		}
+		if len(rows) != 1200 {
+			t.Fatalf("est=%v: %d rows", est, len(rows))
+		}
+	}
+}
+
+// TestIndexDescentBillingSymmetry pins the corrected descent charge: an
+// index-scan probe that matches nothing bills exactly one B-tree descent
+// at descentOpsPerLevel per level — the same rate indexNestLoop charges
+// per probe — and touches no pages.
+func TestIndexDescentBillingSymmetry(t *testing.T) {
+	f := newFixture(64)
+	f.addIndexed("t", "a", mod(1000, 100)) // values 0..99
+	n := indexScanNode("t", "a", eqFilter("a", 500), false)
+	if _, err := f.ex.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	wantDescent := descentOpsPerLevel * int64(math.Log2(1000+2))
+	if f.ex.C.CPUOps != wantDescent {
+		t.Fatalf("empty probe billed %d CPU ops, want one descent = %d", f.ex.C.CPUOps, wantDescent)
+	}
+	if f.ex.C.PageHits+f.ex.C.PageMisses != 0 {
+		t.Fatalf("empty probe touched %d pages, want 0", f.ex.C.PageHits+f.ex.C.PageMisses)
+	}
+}
+
+// TestEmptyRangeProbesBillIdentically pins the empty-range fix: a
+// no-match probe that lands in the middle of the index and one that lands
+// past the last leaf page must charge the same counters. (Previously the
+// leaf-page loop ran once for the former but not the latter, so billing
+// depended on where the miss fell.)
+func TestEmptyRangeProbesBillIdentically(t *testing.T) {
+	build := func() *fixture {
+		f := newFixture(64)
+		evens := make([]int64, 1024) // even values 0..2046; len divisible by the leaf fan-out
+		for i := range evens {
+			evens[i] = int64(2 * i)
+		}
+		f.addIndexed("t", "a", evens)
+		return f
+	}
+	f1 := build()
+	if _, err := f1.ex.Run(indexScanNode("t", "a", eqFilter("a", 501), false)); err != nil {
+		t.Fatal(err) // odd value: miss lands mid-index
+	}
+	f2 := build()
+	if _, err := f2.ex.Run(indexScanNode("t", "a", eqFilter("a", 9999), false)); err != nil {
+		t.Fatal(err) // miss lands past the last leaf page
+	}
+	if f1.ex.C != f2.ex.C {
+		t.Fatalf("identical no-match probes billed differently:\n  mid-index %+v\n  past-end  %+v", f1.ex.C, f2.ex.C)
+	}
+	if f1.ex.C.PageHits+f1.ex.C.PageMisses != 0 {
+		t.Fatalf("empty range touched %d pages, want 0", f1.ex.C.PageHits+f1.ex.C.PageMisses)
+	}
+}
+
+// TestSumOverStringRejected pins the aggregate type-hole fix: a
+// hand-built plan summing a string column is refused with a clear error
+// (the SQL front door already rejects it at bind and plan time) instead
+// of silently returning 0.
+func TestSumOverStringRejected(t *testing.T) {
+	for _, fn := range []sqlparser.AggFunc{sqlparser.AggSum, sqlparser.AggAvg} {
+		for _, m := range execModes {
+			f := newFixture(64)
+			tbl := storage.NewTable(catalog.MustTable("t", catalog.Column{Name: "s", Type: catalog.Str}))
+			tbl.AppendRow(storage.Row{storage.StrVal("x")})
+			f.db.AddTable(tbl)
+			child := &planner.Node{Op: planner.OpSeqScan, Table: "t", Alias: "t",
+				Cols:     []planner.OutCol{{Alias: "t", Name: "s", Type: catalog.Str}},
+				SortedBy: -1}
+			n := &planner.Node{Op: planner.OpAggregate, Left: child,
+				Aggs: []planner.AggSpec{{Func: fn, Col: 0}},
+				Cols: make([]planner.OutCol, 1), SortedBy: -1}
+			f.ex.Tuple = m.tuple
+			f.ex.Workers = m.workers
+			if _, err := f.ex.Run(n); err == nil {
+				t.Fatalf("%s/%s over string column succeeded", fn, m.name)
+			}
+		}
+	}
+}
+
+// TestEmptyGroupNullTypedFromInput pins the MIN/MAX NULL-typing fix:
+// aggregating an empty or all-NULL string column yields a string-typed
+// NULL, not an integer-typed one.
+func TestEmptyGroupNullTypedFromInput(t *testing.T) {
+	build := func(rows []storage.Row) (*fixture, *planner.Node) {
+		f := newFixture(64)
+		tbl := storage.NewTable(catalog.MustTable("t", catalog.Column{Name: "s", Type: catalog.Str}))
+		for _, r := range rows {
+			tbl.AppendRow(r)
+		}
+		f.db.AddTable(tbl)
+		child := &planner.Node{Op: planner.OpSeqScan, Table: "t", Alias: "t",
+			Cols:     []planner.OutCol{{Alias: "t", Name: "s", Type: catalog.Str}},
+			SortedBy: -1}
+		n := &planner.Node{Op: planner.OpAggregate, Left: child,
+			Aggs: []planner.AggSpec{
+				{Func: sqlparser.AggMin, Col: 0},
+				{Func: sqlparser.AggMax, Col: 0},
+			},
+			Cols: make([]planner.OutCol, 2), SortedBy: -1}
+		return f, n
+	}
+	for name, rows := range map[string][]storage.Row{
+		"zero_rows": nil,
+		"all_null":  {{storage.NullVal(catalog.Str)}, {storage.NullVal(catalog.Str)}},
+	} {
+		out, _ := runAllModes(t, func() (*fixture, *planner.Node) { return build(rows) })
+		if len(out) != 1 {
+			t.Fatalf("%s: %d rows", name, len(out))
+		}
+		for i, v := range out[0] {
+			if !v.Null {
+				t.Fatalf("%s: agg %d not NULL: %v", name, i, v)
+			}
+			if v.Kind != catalog.Str {
+				t.Fatalf("%s: agg %d NULL typed %v, want %v", name, i, v.Kind, catalog.Str)
+			}
+		}
+	}
+}
+
+// errAfterCtx is a context whose Err becomes non-nil after the first
+// `after` calls: it simulates a cancellation that arrives while the query
+// is already deep in an operator, positioned by check count rather than
+// wall time so the test is deterministic.
+type errAfterCtx struct {
+	calls int64
+	after int64
+}
+
+func (c *errAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *errAfterCtx) Done() <-chan struct{}       { return nil }
+func (c *errAfterCtx) Value(any) any               { return nil }
+func (c *errAfterCtx) Err() error {
+	if atomic.AddInt64(&c.calls, 1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSortCancellableMidLoop pins the uncancellable-sort fix: a
+// cancellation that arrives after the sort's comparator loop has started
+// still interrupts the query. The child scan is 64 pages (no check fires
+// during it, 64 < cancelCheckInterval), so the context's first Err call
+// happens inside the comparator; with the pre-fix single pre-sort tick
+// the sort would run to completion and the query would succeed.
+func TestSortCancellableMidLoop(t *testing.T) {
+	for _, m := range execModes {
+		build := func() (*fixture, *planner.Node) {
+			f := newFixture(256)
+			f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}),
+				intRows(mod(4096, 997)...))
+			n := &planner.Node{Op: planner.OpSort, Left: scanNode("t", "a"),
+				SortCols: []int{0}, SortDesc: []bool{false},
+				Cols: []planner.OutCol{{Alias: "t", Name: "a", Type: catalog.Int}}, SortedBy: -1}
+			return f, n
+		}
+		// Reference run: full cost of the completed query.
+		ref, n := build()
+		ref.ex.Tuple = m.tuple
+		ref.ex.Workers = m.workers
+		if _, err := ref.ex.Run(n); err != nil {
+			t.Fatalf("%s: reference run: %v", m.name, err)
+		}
+		full := ref.ex.C
+
+		f, n := build()
+		f.ex.Tuple = m.tuple
+		f.ex.Workers = m.workers
+		ctx := &errAfterCtx{after: 1}
+		rows, err := f.ex.RunCtx(ctx, n)
+		if err == nil {
+			t.Fatalf("%s: sort ran to completion despite mid-sort cancellation (%d rows)", m.name, len(rows))
+		}
+		var de *DeadlineExceededError
+		if !errors.As(err, &de) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error = %v, want DeadlineExceededError wrapping context.Canceled", m.name, err)
+		}
+		// The scan completed (all pages charged) but the sort did not:
+		// its completion charge (2·n·log2 n) never landed.
+		if pages := de.Counters.PageHits + de.Counters.PageMisses; pages != full.PageHits+full.PageMisses {
+			t.Fatalf("%s: abort charged %d pages, want the full scan's %d", m.name, pages, full.PageHits+full.PageMisses)
+		}
+		if de.Counters.CPUOps >= full.CPUOps {
+			t.Fatalf("%s: aborted sort charged full CPU (%d ≥ %d)", m.name, de.Counters.CPUOps, full.CPUOps)
+		}
+	}
+}
+
+// TestLimitStopsEmissionNotBilling checks the batch pipeline's limit
+// matches the materializing semantics: the child runs (and bills) fully,
+// output is merely truncated.
+func TestLimitStopsEmissionNotBilling(t *testing.T) {
+	build := func() (*fixture, *planner.Node) {
+		f := newFixture(64)
+		f.addTable(catalog.MustTable("t", catalog.Column{Name: "a", Type: catalog.Int}), intRows(seq(1000)...))
+		n := &planner.Node{Op: planner.OpLimit, N: 3, Left: scanNode("t", "a"),
+			Cols: []planner.OutCol{{Alias: "t", Name: "a", Type: catalog.Int}}, SortedBy: -1}
+		return f, n
+	}
+	rows, c := runAllModes(t, build)
+	if len(rows) != 3 {
+		t.Fatalf("limit rows = %d", len(rows))
+	}
+	// All 16 pages of the child scan are billed even though only the
+	// first batch is emitted.
+	if c.PageHits+c.PageMisses != 16 {
+		t.Fatalf("limit billed %d pages, want the full scan's 16", c.PageHits+c.PageMisses)
+	}
+}
+
+// TestTraceParityAcrossPipelines checks EXPLAIN ANALYZE sees the same
+// per-node cardinalities from both pipelines.
+func TestTraceParityAcrossPipelines(t *testing.T) {
+	run := func(tuple bool) map[string]int64 {
+		f, jn := joinFixtureT(planner.OpHashJoin, mod(300, 50), mod(200, 40))
+		agg := &planner.Node{Op: planner.OpAggregate, Left: jn,
+			Aggs: []planner.AggSpec{{Func: sqlparser.AggCount, Col: -1}},
+			Cols: make([]planner.OutCol, 1), SortedBy: -1}
+		f.ex.Tuple = tuple
+		f.ex.Trace = make(map[*planner.Node]int64)
+		if _, err := f.ex.Run(agg); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int64{}
+		for n, c := range f.ex.Trace {
+			got[n.Op.String()+"/"+n.Table] += c
+		}
+		return got
+	}
+	if tup, bat := run(true), run(false); !reflect.DeepEqual(tup, bat) {
+		t.Fatalf("trace diverges:\n  tuple %v\n  batch %v", tup, bat)
+	}
+}

@@ -8,6 +8,26 @@
 // package's deterministic simulated clock, which is the latency metric the
 // experiments report — see DESIGN.md §2 for why this substitution preserves
 // the paper's behaviour.
+//
+// Two evaluation pipelines share one billing substrate:
+//
+//   - The default **batch-streaming** pipeline (batch.go) pushes batches of
+//     storage.RowsPerPage tuples from scans up through the operator tree:
+//     scans apply pushed-down residual predicates page-by-page as they
+//     read, hash joins build into tables pre-sized from the planner's
+//     cardinality estimates and probe batch-at-a-time (optionally in
+//     parallel, see Executor.Workers), and aggregates, sorts, projections,
+//     and limits consume batches instead of fully materialized inputs.
+//   - The legacy **tuple-at-a-time** volcano pipeline (tuple.go) that
+//     materializes every operator's output, kept as the reference
+//     implementation: equivalence tests assert both pipelines produce
+//     byte-identical rows and Counters, and BenchmarkExecutorBatchVsTuple
+//     measures the streaming rework against it.
+//
+// All work charging lives in the shared operator bodies in this file, so
+// the two pipelines cannot drift apart: Counters, the deterministic Fault
+// page ordinals, and the amortized cancellation contract are identical
+// across pipelines and across worker counts.
 package executor
 
 import (
@@ -16,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"bao/internal/bufferpool"
@@ -97,7 +118,9 @@ const cancelCheckInterval = 1024
 // page ordinal — not wall time — the counters at the abort point are
 // byte-identical across runs, race mode, and worker counts, which is what
 // makes the timeout, error, and cancellation paths deterministically
-// testable.
+// testable. Page accesses always happen on the run's driving goroutine
+// (parallel hash-join workers do pure CPU work), so the ordinal is stable
+// at any Workers setting.
 type Fault struct {
 	AfterPages int64 // trigger on the AfterPages-th page access (1-based)
 	Err        error // non-nil: fail the run with this error
@@ -113,11 +136,11 @@ type execInterrupt struct {
 }
 
 // Executor runs plans against a database through a buffer pool. When
-// Trace is non-nil, eval records each node's actual output cardinality
-// into it (EXPLAIN ANALYZE). Ops, when non-nil, counts plan-node
-// evaluations by operator (one atomic increment per node per query, so it
-// stays off the per-row hot path). Fault, when non-nil, injects a
-// deterministic failure or stall (see Fault).
+// Trace is non-nil, execution records each node's actual output
+// cardinality into it (EXPLAIN ANALYZE). Ops, when non-nil, counts
+// plan-node evaluations by operator (one atomic increment per node per
+// query, so it stays off the per-row hot path). Fault, when non-nil,
+// injects a deterministic failure or stall (see Fault).
 type Executor struct {
 	DB    *storage.Database
 	Pool  *bufferpool.Pool
@@ -125,6 +148,20 @@ type Executor struct {
 	Trace map[*planner.Node]int64
 	Ops   *obs.CounterVec
 	Fault *Fault
+
+	// Workers enables opt-in intra-query parallelism for the hash-join
+	// build and probe phases: values above one split key computation,
+	// partitioned table builds, and probe rounds across that many
+	// goroutines. Zero or one runs fully sequential. Rows, Counters, and
+	// fault ordinals are byte-identical at every setting — parallelism
+	// changes wall-clock only, never the simulated clock. Wired from
+	// core.Config.Workers by the decision loop.
+	Workers int
+	// Tuple selects the legacy tuple-at-a-time volcano pipeline instead of
+	// the default batch-streaming one. Both produce byte-identical rows
+	// and Counters; the legacy path exists as the reference implementation
+	// for equivalence tests and BenchmarkExecutorBatchVsTuple.
+	Tuple bool
 
 	ctx        context.Context // current run's context; nil outside RunCtx
 	sinceCheck int             // progress ticks since the last context check
@@ -167,7 +204,11 @@ func (e *Executor) RunCtx(ctx context.Context, plan *planner.Node) (rows []stora
 			err = in.cause
 		}
 	}()
-	rows, err = e.eval(plan)
+	if e.Tuple {
+		rows, err = e.eval(plan)
+	} else {
+		rows, err = e.collect(plan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -230,50 +271,6 @@ func (e *Executor) page(table string, index bool, pageNo int, random bool) {
 	}
 }
 
-func (e *Executor) eval(n *planner.Node) ([]storage.Row, error) {
-	e.Ops.With(n.Op.String()).Inc()
-	rows, err := e.evalOp(n)
-	if err == nil && e.Trace != nil {
-		e.Trace[n] = int64(len(rows))
-	}
-	return rows, err
-}
-
-func (e *Executor) evalOp(n *planner.Node) ([]storage.Row, error) {
-	switch n.Op {
-	case planner.OpSeqScan:
-		return e.seqScan(n)
-	case planner.OpIndexScan, planner.OpIndexOnlyScan:
-		if n.Param {
-			return nil, fmt.Errorf("executor: parameterized index scan evaluated outside a nested loop")
-		}
-		return e.indexScan(n)
-	case planner.OpNestLoop:
-		return e.nestLoop(n)
-	case planner.OpHashJoin:
-		return e.hashJoin(n)
-	case planner.OpMergeJoin:
-		return e.mergeJoin(n)
-	case planner.OpSort:
-		return e.sortNode(n)
-	case planner.OpAggregate:
-		return e.aggregate(n)
-	case planner.OpProject:
-		return e.project(n)
-	case planner.OpLimit:
-		rows, err := e.eval(n.Left)
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) > n.N {
-			rows = rows[:n.N]
-		}
-		return rows, nil
-	default:
-		return nil, fmt.Errorf("executor: unsupported operator %s", n.Op)
-	}
-}
-
 // scanBinding resolves a scan node's output columns and filters to storage
 // column positions.
 type scanBinding struct {
@@ -324,13 +321,18 @@ func (b *scanBinding) emit(ri int) storage.Row {
 	return out
 }
 
-func (e *Executor) seqScan(n *planner.Node) ([]storage.Row, error) {
+// seqScanYield reads the table page by page, applying the pushed-down
+// residual predicates as each page is read and yielding passing rows. CPU
+// is billed per page (every stored row is touched once, plus one predicate
+// evaluation per filter), so partial work at an abort reflects the pages
+// actually read. Both pipelines share this body.
+func (e *Executor) seqScanYield(n *planner.Node, yield func(storage.Row)) error {
 	b, err := e.bind(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	nRows := b.tab.NumRows()
-	var out []storage.Row
+	perRow := int64(1 + len(n.Filters))
 	for p := 0; p < b.tab.NumPages(); p++ {
 		e.page(n.Table, false, p, false)
 		lo := p * storage.RowsPerPage
@@ -340,12 +342,12 @@ func (e *Executor) seqScan(n *planner.Node) ([]storage.Row, error) {
 		}
 		for ri := lo; ri < hi; ri++ {
 			if b.passes(n, ri) {
-				out = append(out, b.emit(ri))
+				yield(b.emit(ri))
 			}
 		}
+		e.C.CPUOps += int64(hi-lo) * perRow
 	}
-	e.C.CPUOps += int64(nRows) * int64(1+len(n.Filters))
-	return out, nil
+	return nil
 }
 
 // indexBounds derives the index probe range from the node's index filter.
@@ -377,24 +379,34 @@ func indexBounds(f *planner.Filter) (lo, hi *storage.Value) {
 	return nil, nil
 }
 
-func (e *Executor) indexScan(n *planner.Node) ([]storage.Row, error) {
+// indexScanYield walks the index range and yields matching rows. The
+// B-tree descent is billed at descentOpsPerLevel per level — the same rate
+// indexNestLoop charges per probe and the planner costs descents at
+// (optimizer cost model, 4×log2) — so index access paths and index
+// nested loops bill symmetrically. An empty range ([a,a)) touches no leaf
+// pages: it bills exactly one descent, so identical no-match probes bill
+// identically regardless of where the miss lands relative to leaf-page
+// boundaries. Both pipelines share this body.
+func (e *Executor) indexScanYield(n *planner.Node, yield func(storage.Row)) error {
 	b, err := e.bind(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ix, ok := b.tab.Index(n.IndexCol)
 	if !ok {
-		return nil, fmt.Errorf("executor: missing index on %s.%s", n.Table, n.IndexCol)
+		return fmt.Errorf("executor: missing index on %s.%s", n.Table, n.IndexCol)
 	}
 	lo, hi := indexBounds(n.IndexFilter)
 	a, z := ix.Range(lo, hi)
-	// Charge the descent plus leaf pages spanned.
-	e.C.CPUOps += int64(math.Log2(float64(len(ix.RowIDs)+2))) + int64(z-a)
-	for p := a / storage.IndexEntriesPerPage; p <= z/storage.IndexEntriesPerPage && p < ix.NumPages(); p++ {
-		e.page(n.Table, true, p, true)
+	// Charge the descent plus entries spanned.
+	logN := int64(math.Log2(float64(len(ix.RowIDs) + 2)))
+	e.C.CPUOps += descentOpsPerLevel*logN + int64(z-a)
+	if z > a {
+		for p := a / storage.IndexEntriesPerPage; p <= z/storage.IndexEntriesPerPage && p < ix.NumPages(); p++ {
+			e.page(n.Table, true, p, true)
+		}
 	}
 	indexOnly := n.Op == planner.OpIndexOnlyScan
-	var out []storage.Row
 	for pos := a; pos < z; pos++ {
 		e.tick(1)
 		ri := int(ix.RowIDs[pos])
@@ -411,14 +423,16 @@ func (e *Executor) indexScan(n *planner.Node) ([]storage.Row, error) {
 		if !b.passes(n, ri) {
 			continue
 		}
-		out = append(out, b.emit(ri))
+		yield(b.emit(ri))
 		e.C.CPUOps += int64(1 + len(n.Filters))
 	}
-	return out, nil
+	return nil
 }
 
 // rowKey builds a composite hash key from join key values; ok is false when
-// any key is NULL (NULLs never join).
+// any key is NULL (NULLs never join). Legacy string-builder form used by
+// the tuple pipeline's joins; the batch pipeline uses appendRowKey, which
+// produces the same bytes without per-value formatting allocations.
 func rowKey(r storage.Row, keys []int) (string, bool) {
 	var sb strings.Builder
 	for _, k := range keys {
@@ -432,37 +446,23 @@ func rowKey(r storage.Row, keys []int) (string, bool) {
 	return sb.String(), true
 }
 
-func (e *Executor) hashJoin(n *planner.Node) ([]storage.Row, error) {
-	left, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := e.eval(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	// Build on the inner (right), probe with the outer (left).
-	table := make(map[string][]int, len(right))
-	for i, r := range right {
-		e.tick(1)
-		if k, ok := rowKey(r, n.RightKeys); ok {
-			table[k] = append(table[k], i)
+// appendRowKey appends the composite join key for r to dst and reports
+// whether the key is joinable (false when any key value is NULL). The byte
+// encoding matches rowKey exactly.
+func appendRowKey(dst []byte, r storage.Row, keys []int) ([]byte, bool) {
+	for _, k := range keys {
+		v := r[k]
+		if v.Null {
+			return dst, false
 		}
-	}
-	var out []storage.Row
-	for _, l := range left {
-		e.tick(1)
-		k, ok := rowKey(l, n.LeftKeys)
-		if !ok {
-			continue
+		if v.Kind == catalog.Int {
+			dst = strconv.AppendInt(dst, v.I, 10)
+		} else {
+			dst = append(dst, v.S...)
 		}
-		for _, ri := range table[k] {
-			e.tick(1)
-			out = append(out, joinRows(l, right[ri]))
-		}
+		dst = append(dst, 0)
 	}
-	e.C.CPUOps += int64(len(right))*2 + int64(len(left)) + int64(len(out))
-	return out, nil
+	return dst, true
 }
 
 func joinRows(l, r storage.Row) storage.Row {
@@ -471,15 +471,17 @@ func joinRows(l, r storage.Row) storage.Row {
 	return append(out, r...)
 }
 
-func (e *Executor) mergeJoin(n *planner.Node) ([]storage.Row, error) {
-	left, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := e.eval(n.Right)
-	if err != nil {
-		return nil, err
-	}
+// hashJoinCharge bills a completed hash join: 1.5 passes over the build
+// side (hash + insert, averaged), one over the probe side, and one tuple
+// touch per output row. Kept in one place so both pipelines charge the
+// same formula.
+func (e *Executor) hashJoinCharge(build, probe, out int64) {
+	e.C.CPUOps += build*2 + probe + out
+}
+
+// mergeJoinRows merges two sorted, materialized inputs. Shared by both
+// pipelines (a merge join needs its inputs whole either way).
+func (e *Executor) mergeJoinRows(n *planner.Node, left, right []storage.Row) []storage.Row {
 	lk, rk := n.LeftKeys[0], n.RightKeys[0]
 	var out []storage.Row
 	i, j := 0, 0
@@ -522,7 +524,7 @@ func (e *Executor) mergeJoin(n *planner.Node) ([]storage.Row, error) {
 		}
 	}
 	e.C.CPUOps += int64(len(left)) + int64(len(right)) + int64(len(out))
-	return out, nil
+	return out
 }
 
 func extraKeysMatch(l, r storage.Row, lks, rks []int) bool {
@@ -534,19 +536,10 @@ func extraKeysMatch(l, r storage.Row, lks, rks []int) bool {
 	return true
 }
 
-func (e *Executor) nestLoop(n *planner.Node) ([]storage.Row, error) {
-	if n.Right.IsScan() && n.Right.Param {
-		return e.indexNestLoop(n)
-	}
-	left, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := e.eval(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	// Matches computed via hashing; billing is the naive loop's.
+// nestLoopRows runs a naive nested loop over materialized inputs. Matches
+// are computed via hashing; billing is the naive loop's |outer|×|inner|
+// comparisons plus the inner's rescan I/O. Shared by both pipelines.
+func (e *Executor) nestLoopRows(n *planner.Node, left, right []storage.Row) []storage.Row {
 	table := make(map[string][]int, len(right))
 	for i, r := range right {
 		e.tick(1)
@@ -584,15 +577,14 @@ func (e *Executor) nestLoop(n *planner.Node) ([]storage.Row, error) {
 			e.C.CPUOps += rescans * int64(len(right))
 		}
 	}
-	return out, nil
+	return out
 }
 
-// indexNestLoop probes the inner relation's index once per outer row.
-func (e *Executor) indexNestLoop(n *planner.Node) ([]storage.Row, error) {
-	left, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
+// indexNestLoopRows probes the inner relation's index once per outer row.
+// The inner is the parameterized scan n.Right; only the outer side is
+// pre-materialized. Shared by both pipelines (index probes are inherently
+// row-at-a-time).
+func (e *Executor) indexNestLoopRows(n *planner.Node, left []storage.Row) ([]storage.Row, error) {
 	inner := n.Right
 	b, err := e.bind(inner)
 	if err != nil {
@@ -655,13 +647,15 @@ func (e *Executor) indexNestLoop(n *planner.Node) ([]storage.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) sortNode(n *planner.Node) ([]storage.Row, error) {
-	rows, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	e.tick(len(rows))
+// sortRows sorts rows in place by the node's sort spec. The amortized
+// cancellation check is threaded into the comparator, so a deadline or
+// disconnect interrupts the O(n log n) loop itself rather than waiting for
+// the sort to finish; the ticks are cancellation cadence only and do not
+// perturb the exact CPUOps charge, which stays 2·n·log2(n). Shared by
+// both pipelines.
+func (e *Executor) sortRows(n *planner.Node, rows []storage.Row) {
 	sort.SliceStable(rows, func(a, b int) bool {
+		e.tick(1)
 		for k, col := range n.SortCols {
 			c := compareNullable(rows[a][col], rows[b][col])
 			if c == 0 {
@@ -677,7 +671,6 @@ func (e *Executor) sortNode(n *planner.Node) ([]storage.Row, error) {
 	if len(rows) > 1 {
 		e.C.CPUOps += 2 * int64(len(rows)) * int64(math.Log2(float64(len(rows))))
 	}
-	return rows, nil
 }
 
 func compareNullable(a, b storage.Value) int {
@@ -702,23 +695,96 @@ type aggState struct {
 	inited []bool
 }
 
-func (e *Executor) aggregate(n *planner.Node) ([]storage.Row, error) {
-	rows, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
+// aggregator accumulates grouped aggregates incrementally, so the batch
+// pipeline can feed it batch by batch without materializing the input and
+// the tuple pipeline can feed it a whole materialized slice; billing is
+// identical either way. Shared by both pipelines.
+type aggregator struct {
+	e      *Executor
+	n      *planner.Node
+	groups map[string]*aggState
+	order  []string
+	single *aggState // the one state of an ungrouped aggregate
+	rows   int64
+	kb     []byte // reusable group-key buffer
+}
+
+// aggInputType resolves the input column type feeding aggregate ai, used
+// to type empty-group NULLs and validate SUM/AVG inputs. Defaults to Int
+// when the child carries no column metadata (hand-built plans).
+func aggInputType(n *planner.Node, col int) catalog.Type {
+	if col >= 0 && n.Left != nil && col < len(n.Left.Cols) {
+		return n.Left.Cols[col].Type
 	}
-	groups := make(map[string]*aggState)
-	var order []string
+	return catalog.Int
+}
+
+// newAggregator validates the aggregate specs and returns an empty
+// accumulator. SUM and AVG over a non-integer column are rejected here —
+// the planner already refuses them at bind time (planner.Analyze) and plan
+// time (buildTop); this guards hand-built plans, which previously summed
+// nothing and silently returned 0 while counts kept incrementing.
+func (e *Executor) newAggregator(n *planner.Node) (*aggregator, error) {
+	for _, spec := range n.Aggs {
+		if (spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg) && spec.Col >= 0 {
+			if t := aggInputType(n, spec.Col); t != catalog.Int {
+				return nil, fmt.Errorf("executor: %s over non-integer column (type %v)", spec.Func, t)
+			}
+		}
+	}
+	return &aggregator{e: e, n: n, groups: make(map[string]*aggState)}, nil
+}
+
+// appendGroupVal appends v's group-key encoding (the same bytes
+// v.String() produces, NULLs included — unlike join keys, NULLs group
+// together).
+func appendGroupVal(dst []byte, v storage.Value) []byte {
+	switch {
+	case v.Null:
+		dst = append(dst, "NULL"...)
+	case v.Kind == catalog.Int:
+		dst = strconv.AppendInt(dst, v.I, 10)
+	default:
+		dst = append(dst, v.S...)
+	}
+	return append(dst, 0)
+}
+
+// feed accumulates a slice of input rows into the group states. The
+// ungrouped case keeps a single state and skips key building entirely —
+// the common COUNT/MIN/MAX-over-everything shape stays off the map.
+func (a *aggregator) feed(rows []storage.Row) {
+	e, n := a.e, a.n
 	na := len(n.Aggs)
+	if len(rows) == 0 {
+		return
+	}
+	if len(n.GroupCols) == 0 {
+		e.tick(len(rows))
+		a.rows += int64(len(rows))
+		st := a.single
+		if st == nil {
+			st = &aggState{counts: make([]int64, na), sums: make([]int64, na),
+				mins: make([]storage.Value, na), maxs: make([]storage.Value, na),
+				inited: make([]bool, na)}
+			a.single = st
+			a.groups[""] = st
+			a.order = append(a.order, "")
+		}
+		for _, r := range rows {
+			st.update(n.Aggs, r)
+		}
+		return
+	}
 	for _, r := range rows {
 		e.tick(1)
-		var kb strings.Builder
+		a.rows++
+		kb := a.kb[:0]
 		for _, g := range n.GroupCols {
-			kb.WriteString(r[g].String())
-			kb.WriteByte(0)
+			kb = appendGroupVal(kb, r[g])
 		}
-		k := kb.String()
-		st := groups[k]
+		a.kb = kb
+		st := a.groups[string(kb)]
 		if st == nil {
 			st = &aggState{counts: make([]int64, na), sums: make([]int64, na),
 				mins: make([]storage.Value, na), maxs: make([]storage.Value, na),
@@ -726,52 +792,69 @@ func (e *Executor) aggregate(n *planner.Node) ([]storage.Row, error) {
 			for _, g := range n.GroupCols {
 				st.group = append(st.group, r[g])
 			}
-			groups[k] = st
-			order = append(order, k)
+			k := string(kb)
+			a.groups[k] = st
+			a.order = append(a.order, k)
 		}
-		for ai, spec := range n.Aggs {
-			if spec.Col == -1 { // COUNT(*)
-				st.counts[ai]++
-				continue
-			}
-			v := r[spec.Col]
-			if v.Null {
-				continue
-			}
+		st.update(n.Aggs, r)
+	}
+}
+
+// update folds one input row into the group's accumulators.
+func (st *aggState) update(aggs []planner.AggSpec, r storage.Row) {
+	for ai, spec := range aggs {
+		if spec.Col == -1 { // COUNT(*)
 			st.counts[ai]++
-			if v.Kind == catalog.Int {
-				st.sums[ai] += v.I
+			continue
+		}
+		v := r[spec.Col]
+		if v.Null {
+			continue
+		}
+		st.counts[ai]++
+		if v.Kind == catalog.Int {
+			st.sums[ai] += v.I
+		}
+		if !st.inited[ai] {
+			st.mins[ai], st.maxs[ai] = v, v
+			st.inited[ai] = true
+		} else {
+			if v.Compare(st.mins[ai]) < 0 {
+				st.mins[ai] = v
 			}
-			if !st.inited[ai] {
-				st.mins[ai], st.maxs[ai] = v, v
-				st.inited[ai] = true
-			} else {
-				if v.Compare(st.mins[ai]) < 0 {
-					st.mins[ai] = v
-				}
-				if v.Compare(st.maxs[ai]) > 0 {
-					st.maxs[ai] = v
-				}
+			if v.Compare(st.maxs[ai]) > 0 {
+				st.maxs[ai] = v
 			}
 		}
 	}
-	e.C.CPUOps += int64(len(rows)) * int64(len(n.GroupCols)+na+1)
-	var out []storage.Row
+}
+
+// finish bills the aggregation and renders the output rows. Empty-group
+// NULLs (MIN/MAX over all-NULL input, SUM/AVG over zero non-NULL rows)
+// are typed from the input column's kind, so MIN over an empty string
+// column yields a string-typed NULL rather than an integer one.
+func (a *aggregator) finish() []storage.Row {
+	e, n := a.e, a.n
+	na := len(n.Aggs)
+	e.C.CPUOps += a.rows * int64(len(n.GroupCols)+na+1)
+	nullFor := func(spec planner.AggSpec) storage.Value {
+		return storage.NullVal(aggInputType(n, spec.Col))
+	}
 	// An ungrouped aggregate over zero rows still yields one row.
-	if len(n.GroupCols) == 0 && len(order) == 0 {
+	if len(n.GroupCols) == 0 && len(a.order) == 0 {
 		row := make(storage.Row, 0, na)
-		for ai, spec := range n.Aggs {
-			_ = ai
+		for _, spec := range n.Aggs {
 			if spec.Func == sqlparser.AggCount {
 				row = append(row, storage.IntVal(0))
 			} else {
-				row = append(row, storage.NullVal(catalog.Int))
+				row = append(row, nullFor(spec))
 			}
 		}
-		return []storage.Row{row}, nil
+		return []storage.Row{row}
 	}
-	for _, k := range order {
-		st := groups[k]
+	var out []storage.Row
+	for _, k := range a.order {
+		st := a.groups[k]
 		row := make(storage.Row, 0, len(st.group)+na)
 		row = append(row, st.group...)
 		for ai, spec := range n.Aggs {
@@ -780,25 +863,25 @@ func (e *Executor) aggregate(n *planner.Node) ([]storage.Row, error) {
 				row = append(row, storage.IntVal(st.counts[ai]))
 			case sqlparser.AggSum:
 				if st.counts[ai] == 0 {
-					row = append(row, storage.NullVal(catalog.Int))
+					row = append(row, nullFor(spec))
 				} else {
 					row = append(row, storage.IntVal(st.sums[ai]))
 				}
 			case sqlparser.AggAvg:
 				if st.counts[ai] == 0 {
-					row = append(row, storage.NullVal(catalog.Int))
+					row = append(row, nullFor(spec))
 				} else {
 					row = append(row, storage.IntVal(st.sums[ai]/st.counts[ai]))
 				}
 			case sqlparser.AggMin:
 				if !st.inited[ai] {
-					row = append(row, storage.NullVal(catalog.Int))
+					row = append(row, nullFor(spec))
 				} else {
 					row = append(row, st.mins[ai])
 				}
 			case sqlparser.AggMax:
 				if !st.inited[ai] {
-					row = append(row, storage.NullVal(catalog.Int))
+					row = append(row, nullFor(spec))
 				} else {
 					row = append(row, st.maxs[ai])
 				}
@@ -806,14 +889,12 @@ func (e *Executor) aggregate(n *planner.Node) ([]storage.Row, error) {
 		}
 		out = append(out, row)
 	}
-	return out, nil
+	return out
 }
 
-func (e *Executor) project(n *planner.Node) ([]storage.Row, error) {
-	rows, err := e.eval(n.Left)
-	if err != nil {
-		return nil, err
-	}
+// projectRows projects a slice of rows into the node's output shape.
+// Shared by both pipelines (the batch pipeline calls it per batch).
+func (e *Executor) projectRows(n *planner.Node, rows []storage.Row) []storage.Row {
 	e.tick(len(rows))
 	out := make([]storage.Row, len(rows))
 	for i, r := range rows {
@@ -824,5 +905,5 @@ func (e *Executor) project(n *planner.Node) ([]storage.Row, error) {
 		out[i] = pr
 	}
 	e.C.CPUOps += int64(len(rows))
-	return out, nil
+	return out
 }

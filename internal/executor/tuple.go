@@ -1,0 +1,156 @@
+package executor
+
+import (
+	"fmt"
+
+	"bao/internal/planner"
+	"bao/internal/storage"
+)
+
+// This file is the legacy tuple-at-a-time volcano pipeline: every
+// operator fully materializes its output as a []storage.Row. It is kept
+// behind Executor.Tuple as the reference implementation the
+// batch-streaming pipeline (batch.go) is validated against — equivalence
+// tests assert byte-identical rows and Counters, and
+// BenchmarkExecutorBatchVsTuple measures the rework's wall-clock win.
+// All billing lives in the shared operator bodies (executor.go), so the
+// two pipelines cannot drift: only materialization strategy differs.
+
+// eval materializes n's full output, recording per-operator evaluation
+// counts and, when tracing, actual output cardinality.
+func (e *Executor) eval(n *planner.Node) ([]storage.Row, error) {
+	if e.Ops != nil {
+		e.Ops.With(n.Op.String()).Inc()
+	}
+	rows, err := e.evalOp(n)
+	if err != nil {
+		return nil, err
+	}
+	if e.Trace != nil {
+		e.Trace[n] = int64(len(rows))
+	}
+	return rows, nil
+}
+
+func (e *Executor) evalOp(n *planner.Node) ([]storage.Row, error) {
+	switch n.Op {
+	case planner.OpSeqScan:
+		var out []storage.Row
+		if err := e.seqScanYield(n, func(r storage.Row) { out = append(out, r) }); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case planner.OpIndexScan, planner.OpIndexOnlyScan:
+		if n.Param {
+			return nil, fmt.Errorf("executor: parameterized index scan outside nested loop")
+		}
+		var out []storage.Row
+		if err := e.indexScanYield(n, func(r storage.Row) { out = append(out, r) }); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case planner.OpNestLoop:
+		left, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if n.Right.Param {
+			return e.indexNestLoopRows(n, left)
+		}
+		right, err := e.eval(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return e.nestLoopRows(n, left, right), nil
+
+	case planner.OpHashJoin:
+		left, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return e.hashJoinLegacy(n, left, right), nil
+
+	case planner.OpMergeJoin:
+		left, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return e.mergeJoinRows(n, left, right), nil
+
+	case planner.OpSort:
+		rows, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		e.sortRows(n, rows)
+		return rows, nil
+
+	case planner.OpAggregate:
+		rows, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := e.newAggregator(n)
+		if err != nil {
+			return nil, err
+		}
+		agg.feed(rows)
+		return agg.finish(), nil
+
+	case planner.OpProject:
+		rows, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return e.projectRows(n, rows), nil
+
+	case planner.OpLimit:
+		rows, err := e.eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > n.N {
+			rows = rows[:n.N]
+		}
+		return rows, nil
+	}
+	return nil, fmt.Errorf("executor: unsupported operator %v", n.Op)
+}
+
+// hashJoinLegacy is the materializing hash join: an unsized index map
+// keyed by string-builder keys over fully materialized inputs. The batch
+// pipeline replaces it with a pre-sized, optionally parallel build/probe
+// (streamHashJoin); both charge hashJoinCharge.
+func (e *Executor) hashJoinLegacy(n *planner.Node, left, right []storage.Row) []storage.Row {
+	table := make(map[string][]int)
+	for i, r := range right {
+		e.tick(1)
+		if k, ok := rowKey(r, n.RightKeys); ok {
+			table[k] = append(table[k], i)
+		}
+	}
+	var out []storage.Row
+	for _, l := range left {
+		e.tick(1)
+		k, ok := rowKey(l, n.LeftKeys)
+		if !ok {
+			continue
+		}
+		for _, ri := range table[k] {
+			e.tick(1)
+			out = append(out, joinRows(l, right[ri]))
+		}
+	}
+	e.hashJoinCharge(int64(len(right)), int64(len(left)), int64(len(out)))
+	return out
+}

@@ -180,6 +180,9 @@ func (o *Optimizer) bestScan(si *ScanInfo, h Hints, estRows float64) (*Node, err
 		ix := &Node{Op: OpIndexScan, Table: si.Table, Alias: si.Alias,
 			IndexCol: f.Col, IndexFilter: f, Filters: rest, Cols: cols,
 			EstRows: estRows, SortedBy: outPos(si, f.Col)}
+		// The 4×log2 descent term matches the executor's
+		// descentOpsPerLevel billing for index scans and index nested
+		// loops, so costed and charged descents agree.
 		ix.EstCost = math.Log2(baseRows+2)*cpuOperatorCost*4 +
 			matched*cpuIndexTupleCost +
 			matched*randPageCost +
@@ -467,6 +470,14 @@ func (o *Optimizer) buildTop(q *Query, root *Node) (*Node, error) {
 				name = strings.ToLower(out.Agg.String()) + "(" + out.Col + ")"
 				if out.Agg == sqlparser.AggMin || out.Agg == sqlparser.AggMax {
 					typ = root.Cols[pos].Type
+				}
+				// SUM/AVG require integer input. Analyze already rejects
+				// this at bind time; guard again at plan time so programs
+				// assembling Query values directly cannot reach the
+				// executor with a spec it would have to refuse.
+				if (out.Agg == sqlparser.AggSum || out.Agg == sqlparser.AggAvg) &&
+					root.Cols[pos].Type != catalog.Int {
+					return nil, fmt.Errorf("planner: %s over non-integer column %s", out.Agg, out.Col)
 				}
 			}
 			agg.Aggs = append(agg.Aggs, spec)

@@ -266,3 +266,18 @@ func TestTooManyRelationsRejected(t *testing.T) {
 		t.Fatal("17-relation query accepted")
 	}
 }
+
+// TestPlanRejectsSumOverString is the plan-time guard behind the bind-time
+// check: a Query assembled (or mutated) directly with SUM/AVG over a
+// non-integer column must be refused by buildTop rather than reaching the
+// executor, which would have to reject it anyway.
+func TestPlanRejectsSumOverString(t *testing.T) {
+	f := newFixture(t)
+	for _, agg := range []sqlparser.AggFunc{sqlparser.AggSum, sqlparser.AggAvg} {
+		q := f.analyze(t, "SELECT MIN(title) FROM movies m")
+		q.Outputs[0].Agg = agg // bypass Analyze's bind-time rejection
+		if _, err := f.opt.Plan(q, AllOn()); err == nil {
+			t.Fatalf("%s over string column planned successfully", agg)
+		}
+	}
+}

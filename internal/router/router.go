@@ -389,10 +389,10 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 type proxyError int
 
 const (
-	proxyErrClient proxyError = iota // client ctx canceled / deadline fired
-	proxyErrSlow                     // proxy client timeout; shard alive but slow
-	proxyErrDial                     // connection never established; replay is safe
-	proxyErrMidstream                // failed after the shard may have seen the request
+	proxyErrClient    proxyError = iota // client ctx canceled / deadline fired
+	proxyErrSlow                        // proxy client timeout; shard alive but slow
+	proxyErrDial                        // connection never established; replay is safe
+	proxyErrMidstream                   // failed after the shard may have seen the request
 )
 
 // classifyProxyError decides who to blame for a forward failure. The
