@@ -71,6 +71,9 @@ type Arm = core.Arm
 // Selection reports a per-query arm choice.
 type Selection = core.Selection
 
+// Experience is one observed (plan, outcome) pair in the training window.
+type Experience = core.Experience
+
 // Metric is the optimization goal (latency, CPU time, or disk I/O).
 type Metric = core.Metric
 
@@ -326,4 +329,19 @@ func OpenCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
 // Replay method directly for offline inspection and custom tooling.
 func OpenExperienceLog(path string) (*ExperienceLog, error) {
 	return baoserver.OpenExperienceLog(path, DefaultObserver())
+}
+
+// ExplogOptions tunes a directly opened experience log: segment rotation
+// bound, snapshot retention, and deterministic disk-fault scripts. The
+// zero value matches OpenExperienceLog.
+type ExplogOptions = baoserver.LogOptions
+
+// OpenExperienceLogWith opens a durable experience log with explicit
+// options — notably SegmentBytes, which bounds recovery replay to the
+// unsnapshotted tail (<0 keeps the legacy monolithic layout).
+func OpenExperienceLogWith(path string, o ExplogOptions) (*ExperienceLog, error) {
+	if o.Observer == nil {
+		o.Observer = DefaultObserver()
+	}
+	return baoserver.OpenLog(path, o)
 }

@@ -52,28 +52,29 @@ func main() {
 	s := harness.NewSession(opts)
 
 	experiments := map[string]func() error{
-		"table1":   s.Table1,
-		"fig1":     s.Figure1,
-		"fig7":     s.Figure7,
-		"fig8":     s.Figure8,
-		"fig9":     s.Figure9,
-		"fig10":    s.Figure10,
-		"fig11":    s.Figure11,
-		"fig12":    s.Figure12,
-		"fig13":    s.Figure13,
-		"fig14":    s.Figure14,
-		"fig15a":   s.Figure15a,
-		"fig15b":   s.Figure15b,
-		"fig15c":   s.Figure15c,
-		"fig16":    s.Figure16,
-		"hints":    s.HintAnalysis,
-		"opttime":  s.OptTime,
-		"ablation": s.Ablation,
-		"charact":  s.Characterize,
-		"chaos":    s.Chaos,
+		"table1":       s.Table1,
+		"fig1":         s.Figure1,
+		"fig7":         s.Figure7,
+		"fig8":         s.Figure8,
+		"fig9":         s.Figure9,
+		"fig10":        s.Figure10,
+		"fig11":        s.Figure11,
+		"fig12":        s.Figure12,
+		"fig13":        s.Figure13,
+		"fig14":        s.Figure14,
+		"fig15a":       s.Figure15a,
+		"fig15b":       s.Figure15b,
+		"fig15c":       s.Figure15c,
+		"fig16":        s.Figure16,
+		"hints":        s.HintAnalysis,
+		"opttime":      s.OptTime,
+		"ablation":     s.Ablation,
+		"charact":      s.Characterize,
+		"chaos":        s.Chaos,
+		"explog-chaos": s.ExplogChaos,
 	}
 	order := []string{"table1", "charact", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "hints", "opttime", "ablation", "chaos"}
+		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "hints", "opttime", "ablation", "chaos", "explog-chaos"}
 
 	if *list {
 		ids := make([]string, 0, len(experiments))

@@ -52,6 +52,7 @@ func main() {
 	maxResident := flag.Int("max-resident", 8, "per-shard resident-tenant count bound")
 	maxResidentBytes := flag.Int64("max-resident-bytes", 256<<20, "per-shard resident model byte bound")
 	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "per-tenant plan-cache resident byte bound (0 = 64 MiB; -local mode)")
+	explogSegBytes := flag.Int64("explog-segment-bytes", 0, "per-tenant explog segment rotation bound in bytes (0 = 4 MiB; <0 = monolithic; -local mode)")
 	flag.Parse()
 
 	var infos []baorouter.ShardInfo
@@ -73,6 +74,7 @@ func main() {
 				Tenants: bao.TenantOptions{
 					Dir:              dir, // shared: any shard can rebuild any tenant
 					NewBao:           microTenant(*planCacheBytes),
+					Server:           bao.ServerConfig{SegmentBytes: *explogSegBytes},
 					MaxResident:      *maxResident,
 					MaxResidentBytes: *maxResidentBytes,
 				},

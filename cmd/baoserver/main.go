@@ -46,6 +46,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale")
 	train := flag.Int("train", 0, "pre-train Bao on this many workload queries before serving")
 	explog := flag.String("explog", "", "durable experience log path (replayed on startup)")
+	explogSegBytes := flag.Int64("explog-segment-bytes", 0, "explog segment rotation bound in bytes (0 = 4 MiB default, <0 = monolithic, no rotation)")
 	modelPath := flag.String("model", "", "value-model path (loaded on startup, saved on shutdown)")
 	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent requests before shedding with 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
@@ -98,6 +99,7 @@ func main() {
 		RequestTimeout: *timeout,
 		QueryTimeout:   *queryTimeout,
 		LogPath:        *explog,
+		SegmentBytes:   *explogSegBytes,
 		ModelPath:      *modelPath,
 		CheckpointDir:  *ckptDir,
 		CheckpointKeep: *ckptKeep,

@@ -46,6 +46,8 @@ func main() {
 	inferBatch := flag.Int("infer-batch", 0, "coalesce concurrent predictions into shared forward passes of at most this many plan tensors (0 = off)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; timed-out Bao queries record censored experiences (0 = off)")
 	guardOn := flag.Bool("guard", false, "enable Bao's guardrails: validation-gated hot-swap and the default-plan circuit breaker")
+	explog := flag.String("explog", "", "durable experience log path: replayed on startup, appended during the session")
+	explogSegBytes := flag.Int64("explog-segment-bytes", 0, "explog segment rotation bound in bytes (0 = 4 MiB default, <0 = monolithic, no rotation)")
 	listen := flag.String("listen", "", "serve /metrics and /debug/traces on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
@@ -81,6 +83,25 @@ func main() {
 	// Capture the learning-loop event journal (swaps, breaker transitions,
 	// censored queries) so \events can replay what the guard and trainer did.
 	opt.Observer().EnableEvents(256)
+	if *explog != "" {
+		l, err := bao.OpenExperienceLogWith(*explog, bao.ExplogOptions{
+			SegmentBytes: *explogSegBytes,
+			WindowCap:    opt.WindowCap(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close() //nolint:errcheck // session teardown
+		l.Replay(opt)
+		replayed, skipped := l.Replayed()
+		fmt.Printf("explog: replayed %d records (%d skipped) from %s\n", replayed, skipped, *explog)
+		opt.SetExperienceHook(func(e bao.Experience) {
+			l.AppendExperience(e) //nolint:errcheck // degradation is counted inside
+		})
+		opt.SetCriticalHook(func(key string, exps []bao.Experience) {
+			l.AppendCritical(key, exps) //nolint:errcheck // degradation is counted inside
+		})
+	}
 	if *train > 0 {
 		fmt.Printf("pre-training Bao on %d queries...\n", *train)
 		for _, q := range inst.Queries[:*train] {

@@ -451,6 +451,26 @@ func (b *Bao) CriticalKeys() []string {
 	return keys
 }
 
+// WindowCap returns the configured (clamped) experience-window capacity
+// — the most experiences the sliding window ever holds. The serving
+// layer sizes its durable-log shadow window from this so a recovered
+// window is never under-filled relative to the live one.
+func (b *Bao) WindowCap() int { return b.Cfg.WindowSize }
+
+// CriticalSets returns a copy of the critical-query exploration registry
+// keyed by query identity — the snapshot-side counterpart of
+// RestoreCritical. The per-key slices are shared (they are immutable
+// once stored).
+func (b *Bao) CriticalSets() map[string][]Experience {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string][]Experience, len(b.critical))
+	for k, v := range b.critical {
+		out[k] = v
+	}
+	return out
+}
+
 // SetRetrainHook routes retrain triggers to fn instead of retraining
 // inline: when the schedule (or a gross misprediction) calls for a
 // retrain, fn is invoked — typically a non-blocking channel send into a

@@ -2,9 +2,7 @@ package guard
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,27 +12,19 @@ import (
 	"sync"
 )
 
-// Checkpoint frame layout: a fixed header followed by the model payload.
-//
-//	magic   8 bytes  "BAOCKP1\n"
-//	gen     8 bytes  generation number, little-endian
-//	length  8 bytes  payload length, little-endian
-//	crc     4 bytes  CRC-32 (IEEE) of the payload, little-endian
-//	payload
+// Checkpoints use the shared guard frame format (see frame.go) with the
+// magic "BAOCKP1\n" and the generation number in the frame's gen field.
 //
 // Files are named model-<generation>.ckpt with a zero-padded decimal
-// generation so lexical order is generation order. Saves go through a
-// temp file + fsync + atomic rename, so a checkpoint either exists whole
-// or not at all; the CRC catches the remaining failure mode (bit rot,
-// partial writes surviving a rename on non-atomic filesystems).
+// generation so lexical order is generation order. Saves go through
+// WriteFileAtomic (temp file + fsync + atomic rename + directory fsync),
+// so a checkpoint either exists whole or not at all; the CRC catches the
+// remaining failure mode (bit rot, partial writes surviving a rename on
+// non-atomic filesystems).
 const (
-	ckptMagic     = "BAOCKP1\n"
-	ckptHeaderLen = 8 + 8 + 8 + 4
-	ckptPrefix    = "model-"
-	ckptSuffix    = ".ckpt"
-	// maxCkptLen bounds a frame's declared payload so a corrupt length
-	// field cannot drive a giant allocation.
-	maxCkptLen = 256 << 20
+	ckptMagic  = "BAOCKP1\n"
+	ckptPrefix = "model-"
+	ckptSuffix = ".ckpt"
 )
 
 // CheckpointStore persists model snapshots as versioned, checksummed
@@ -112,8 +102,11 @@ func (s *CheckpointStore) Generations() ([]uint64, error) {
 
 // Save writes one new generation: write serializes the model payload,
 // which lands on disk under the next generation number via temp file +
-// fsync + atomic rename, then generations beyond the keep limit are
-// pruned. Returns the generation written.
+// fsync + atomic rename + directory fsync, then generations beyond the
+// keep limit are pruned. Returns the generation written. A failed
+// directory fsync fails the save (the rename might not survive a crash);
+// the generation counter is not advanced, so a retry overwrites the same
+// file rather than skipping a number.
 func (s *CheckpointStore) Save(write func(w io.Writer) error) (uint64, error) {
 	var payload bytes.Buffer
 	if err := write(&payload); err != nil {
@@ -123,38 +116,10 @@ func (s *CheckpointStore) Save(write func(w io.Writer) error) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	gen := s.gen + 1
-
-	var hdr [ckptHeaderLen]byte
-	copy(hdr[:8], ckptMagic)
-	binary.LittleEndian.PutUint64(hdr[8:16], gen)
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload.Bytes()))
-
-	tmp, err := os.CreateTemp(s.dir, "ckpt-*.tmp")
-	if err != nil {
+	frame := EncodeFrame(ckptMagic, gen, payload.Bytes())
+	if err := WriteFileAtomic(s.dir, ckptName(gen), frame); err != nil {
 		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
 	}
-	tmpName := tmp.Name()
-	cleanup := func() { os.Remove(tmpName) } //nolint:errcheck // best effort
-	if _, err := tmp.Write(hdr[:]); err == nil {
-		_, err = tmp.Write(payload.Bytes())
-		if err == nil {
-			err = tmp.Sync()
-		}
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		cleanup()
-		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
-	}
-	final := filepath.Join(s.dir, ckptName(gen))
-	if err := os.Rename(tmpName, final); err != nil {
-		cleanup()
-		return 0, fmt.Errorf("guard: checkpoint save: %w", err)
-	}
-	syncDir(s.dir)
 	s.gen = gen
 	s.pruneLocked()
 	return gen, nil
@@ -192,22 +157,12 @@ func (s *CheckpointStore) readFrame(gen uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < ckptHeaderLen {
-		return nil, fmt.Errorf("guard: checkpoint %d: truncated header", gen)
+	g, payload, err := DecodeFrame(ckptMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("guard: checkpoint %d: %w", gen, err)
 	}
-	if string(data[:8]) != ckptMagic {
-		return nil, fmt.Errorf("guard: checkpoint %d: bad magic", gen)
-	}
-	if g := binary.LittleEndian.Uint64(data[8:16]); g != gen {
+	if g != gen {
 		return nil, fmt.Errorf("guard: checkpoint %d: header names generation %d", gen, g)
-	}
-	n := binary.LittleEndian.Uint64(data[16:24])
-	if n > maxCkptLen || int(n) != len(data)-ckptHeaderLen {
-		return nil, fmt.Errorf("guard: checkpoint %d: truncated payload", gen)
-	}
-	payload := data[ckptHeaderLen:]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[24:28]) {
-		return nil, fmt.Errorf("guard: checkpoint %d: checksum mismatch", gen)
 	}
 	return payload, nil
 }
@@ -223,17 +178,6 @@ func (s *CheckpointStore) pruneLocked() {
 	for _, g := range gens[:len(gens)-s.keep] {
 		os.Remove(filepath.Join(s.dir, ckptName(g))) //nolint:errcheck // best effort
 	}
-}
-
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Best effort: not every platform or filesystem supports it.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync() //nolint:errcheck // best effort
-	d.Close()
 }
 
 // ckptName renders a generation's filename (zero-padded so lexical order

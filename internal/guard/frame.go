@@ -1,0 +1,117 @@
+package guard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Shared single-frame file format, used by both checkpoint generations
+// and experience-log snapshots:
+//
+//	magic    8 bytes  format identifier (caller-chosen, e.g. "BAOCKP1\n")
+//	gen      8 bytes  caller-defined generation/sequence, little-endian
+//	length   8 bytes  payload length, little-endian
+//	crc      4 bytes  CRC-32 (IEEE) of the payload, little-endian
+//	payload
+//
+// A frame file is always written whole via WriteFileAtomic, so it either
+// exists complete or not at all; DecodeFrame catches the remaining
+// failure modes (bit rot, partial writes surviving a rename on
+// non-atomic filesystems).
+const (
+	// FrameHeaderLen is the fixed prefix of every frame file.
+	FrameHeaderLen = 8 + 8 + 8 + 4
+	// maxFramePayload bounds a frame's declared payload so a corrupt
+	// length field cannot drive a giant allocation.
+	maxFramePayload = 256 << 20
+)
+
+// EncodeFrame renders one frame: the 8-byte magic, the caller's
+// generation number, and the length-prefixed, checksummed payload.
+// magic must be exactly 8 bytes (a programmer error otherwise).
+func EncodeFrame(magic string, gen uint64, payload []byte) []byte {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("guard: frame magic %q is %d bytes, want 8", magic, len(magic)))
+	}
+	frame := make([]byte, FrameHeaderLen+len(payload))
+	copy(frame[:8], magic)
+	binary.LittleEndian.PutUint64(frame[8:16], gen)
+	binary.LittleEndian.PutUint64(frame[16:24], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(frame[24:28], crc32.ChecksumIEEE(payload))
+	copy(frame[FrameHeaderLen:], payload)
+	return frame
+}
+
+// DecodeFrame validates a frame's magic, length, and checksum, returning
+// its generation number and payload. The payload aliases data.
+func DecodeFrame(magic string, data []byte) (gen uint64, payload []byte, err error) {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("guard: frame magic %q is %d bytes, want 8", magic, len(magic)))
+	}
+	if len(data) < FrameHeaderLen {
+		return 0, nil, fmt.Errorf("guard: frame: truncated header")
+	}
+	if string(data[:8]) != magic {
+		return 0, nil, fmt.Errorf("guard: frame: bad magic")
+	}
+	gen = binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint64(data[16:24])
+	if n > maxFramePayload || int(n) != len(data)-FrameHeaderLen {
+		return 0, nil, fmt.Errorf("guard: frame: truncated payload")
+	}
+	payload = data[FrameHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[24:28]) {
+		return 0, nil, fmt.Errorf("guard: frame: checksum mismatch")
+	}
+	return gen, payload, nil
+}
+
+// WriteFileAtomic lands data at dir/name through a temp file + fsync +
+// atomic rename + directory fsync, so the file either exists whole under
+// its final name or not at all. Unlike the historical best-effort
+// directory sync, a failed directory fsync is reported: the rename may
+// not survive a crash, and callers deciding whether to delete
+// now-redundant files (checkpoint pruning, explog compaction) must know.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) } //nolint:errcheck // best effort
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		cleanup()
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Platforms whose filesystems reject directory fsync report the
+// error; callers choose whether that is fatal for their durability
+// contract.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExplogChaosExperiment runs the disk-fault matrix on a small stream:
+// every script must recover identical state at both worker counts, and
+// the printed table must show the faults actually fired (drops under
+// ENOSPC, a snapshot error under the corruption scripts).
+func TestExplogChaosExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.Queries = 160
+	s := NewSession(opts)
+	if err := s.ExplogChaos(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"recovered state identical across worker counts",
+		"enospc-recover",
+		"corrupt-snapshot",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explog chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplogChaosFaultsBite checks one scripted run directly: the ENOSPC
+// script must actually drop records and probe its way back to durable
+// appends (ending un-degraded), not silently no-op.
+func TestExplogChaosFaultsBite(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.Queries = 160
+	s := NewSession(opts)
+	o, err := s.explogChaosRun(1, explogFaultScripts[2].fault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dropped == 0 {
+		t.Fatalf("ENOSPC script dropped nothing: %+v", o)
+	}
+	if o.ReopenProbes == 0 {
+		t.Fatalf("ENOSPC script never probed: %+v", o)
+	}
+	if o.DegradedEnd {
+		t.Fatalf("ENOSPC script should recover after release: %+v", o)
+	}
+	if o.Window == 0 {
+		t.Fatalf("recovered window empty: %+v", o)
+	}
+}

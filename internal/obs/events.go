@@ -20,6 +20,12 @@ const (
 	EventRollback        = "checkpoint-rollback"
 	EventCensored        = "censored"
 	EventAbandoned       = "abandoned"
+	// Segmented experience-log durability: read-only degradation and
+	// recovery, plus snapshot-anchored compaction outcomes.
+	EventExplogDegraded      = "explog-degraded"
+	EventExplogRestored      = "explog-restored"
+	EventExplogSnapshot      = "explog-snapshot"
+	EventExplogSnapshotError = "explog-snapshot-error"
 )
 
 // Event is one structured lifecycle record: model swaps, breaker

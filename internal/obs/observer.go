@@ -92,6 +92,18 @@ type Observer struct {
 	LogSkipped       *Counter   // bao_server_explog_skipped_total
 	ServeAbandoned   *Counter   // bao_server_abandoned_total
 
+	// Segmented experience log: rotation, snapshot-anchored compaction,
+	// and read-only durability degradation (internal/server.ExperienceLog).
+	LogSeals        *Counter // bao_explog_seals_total
+	LogSegments     *Gauge   // bao_explog_segments
+	LogSnapshots    *Counter // bao_explog_snapshots_total
+	LogSnapshotErrs *Counter // bao_explog_snapshot_errors_total
+	LogSnapshotSeq  *Gauge   // bao_explog_snapshot_seq
+	LogCompacted    *Counter // bao_explog_segments_compacted_total
+	LogDropped      *Counter // bao_explog_dropped_total
+	LogDegradedG    *Gauge   // bao_explog_degraded
+	LogReopenProbes *Counter // bao_explog_reopen_probes_total
+
 	// Guard subsystem (internal/guard): validation-gated hot-swap,
 	// versioned checkpoints with rollback, and the default-plan circuit
 	// breaker — the degradation ladder keeping Bao never far worse than
@@ -208,6 +220,16 @@ func NewObserver(reg *Registry, ring *TraceRing) *Observer {
 		LogReplayed:      reg.Counter("bao_server_explog_replayed_total", "Records replayed from the experience log at startup."),
 		LogSkipped:       reg.Counter("bao_server_explog_skipped_total", "Corrupt or truncated experience-log records skipped during replay."),
 		ServeAbandoned:   reg.Counter("bao_server_abandoned_total", "Requests abandoned mid-flight (timed out at the HTTP layer or client disconnected) that recorded no experience."),
+
+		LogSeals:        reg.Counter("bao_explog_seals_total", "Active-tail rotations into sealed experience-log segments."),
+		LogSegments:     reg.Gauge("bao_explog_segments", "Sealed experience-log segments on disk awaiting compaction."),
+		LogSnapshots:    reg.Counter("bao_explog_snapshots_total", "Experience-log snapshot frames written and verified by the compactor."),
+		LogSnapshotErrs: reg.Counter("bao_explog_snapshot_errors_total", "Snapshot writes that failed or failed verification (covered segments retained), plus corrupt snapshots recovery fell back past."),
+		LogSnapshotSeq:  reg.Gauge("bao_explog_snapshot_seq", "Record sequence covered by the newest durable experience-log snapshot."),
+		LogCompacted:    reg.Counter("bao_explog_segments_compacted_total", "Sealed segments deleted after their covering snapshot became durable."),
+		LogDropped:      reg.Counter("bao_explog_dropped_total", "Experience-log records dropped while durability was degraded (read-only serving)."),
+		LogDegradedG:    reg.Gauge("bao_explog_degraded", "1 while the experience log is in read-only durability degradation, else 0."),
+		LogReopenProbes: reg.Counter("bao_explog_reopen_probes_total", "Reopen probes attempted while the experience log was degraded (exponential backoff on the append-attempt clock)."),
 
 		RetrainRejected:     reg.Counter("bao_retrain_rejected_total", "Candidate models rejected by the validation gate (the incumbent kept serving)."),
 		BreakerState:        reg.Gauge("bao_breaker_state", "Default-plan circuit breaker state: 0 closed, 1 open, 2 half-open."),

@@ -13,10 +13,13 @@ import (
 
 // tenantStatus is the slice of /v1/status the chaos test steers by.
 type tenantStatus struct {
-	Trained         bool   `json:"trained"`
-	TrainCount      int    `json:"train_count"`
-	Experience      int    `json:"experience"`
-	ModelGeneration uint64 `json:"model_generation"`
+	Trained           bool   `json:"trained"`
+	TrainCount        int    `json:"train_count"`
+	Experience        int    `json:"experience"`
+	ModelGeneration   uint64 `json:"model_generation"`
+	LogReplayed       int    `json:"log_replayed"`
+	ExplogSnapshotSeq uint64 `json:"explog_snapshot_seq"`
+	ExplogTailFrames  uint64 `json:"explog_tail_frames"`
 }
 
 // tenantGet issues a GET through the router on a tenant's behalf.
@@ -212,6 +215,22 @@ func runFleetChaos(t *testing.T, workers int) {
 		if st.Experience < *acked[tn]-1 {
 			t.Errorf("%s: rebuilt experience %d < %d acked - 1 (lost more than one frame)",
 				tn, st.Experience, *acked[tn])
+		}
+	}
+
+	// Bounded-time recovery: the frozen tenants quiesced before the kill,
+	// so compaction settled and their rebuild replayed only the short tail
+	// past the newest snapshot — far less than their acked history. (The
+	// active tenants recover identically but can die mid-seal, so only the
+	// quiesced ones carry a deterministic bound.)
+	for _, tn := range frozen {
+		st := f.statusOf(t, tn)
+		if st.ExplogSnapshotSeq == 0 {
+			t.Errorf("%s: no snapshot cut before the kill — compaction never ran", tn)
+		}
+		if st.LogReplayed*2 >= *acked[tn] {
+			t.Errorf("%s: activation replayed %d frames with %d acked — replay not bounded by the tail",
+				tn, st.LogReplayed, *acked[tn])
 		}
 	}
 

@@ -59,8 +59,15 @@ func newTestFleet(t *testing.T, n, workers int, mutate func(*RouterConfig)) *fle
 		name := fmt.Sprintf("shard-%d", i)
 		o := obs.NewObserver(obs.NewRegistry(), nil)
 		s, err := baoserver.NewShard(baoserver.ShardConfig{
-			Name:     name,
-			Tenants:  baoserver.TenantOptions{Dir: dir, NewBao: microFactory(o, workers)},
+			Name: name,
+			Tenants: baoserver.TenantOptions{
+				Dir:    dir,
+				NewBao: microFactory(o, workers),
+				// A tiny segment bound so the chaos drill exercises
+				// rotation and snapshot compaction within its short
+				// streams, keeping activation replay O(tail).
+				Server: baoserver.Config{SegmentBytes: 2 << 10},
+			},
 			Observer: o,
 		})
 		if err != nil {

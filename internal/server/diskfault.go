@@ -1,0 +1,37 @@
+package baoserver
+
+// DiskFault is the experience log's deterministic fault-injection script,
+// in the repo's ordinal-scripted style (executor.Fault counts page
+// fetches, guard.Fault counts fit attempts): every field is an ordinal or
+// byte offset on the log's own work counters, never wall time, so a
+// scripted failure replays byte-identically at any worker count. The
+// zero value injects nothing. Counters live in the log (advanced under
+// its mutex); the script itself is immutable once installed.
+type DiskFault struct {
+	// TornAppendFrame makes the Nth append attempt (1-based, counted over
+	// the log's lifetime in this process) write only the first half of
+	// its frame and then fail — the classic power-cut tear the recovery
+	// scan must truncate away.
+	TornAppendFrame int
+	// ENOSPCAtByte caps the cumulative bytes the log may write to its
+	// tail (across rotations): an append that would cross the cap writes
+	// the bytes that fit and fails with ENOSPC, and every later write
+	// fails the same way until ENOSPCRelease. Zero means no cap.
+	ENOSPCAtByte int64
+	// ENOSPCRelease lifts the ENOSPCAtByte cap starting at this append
+	// attempt ordinal (space was freed). Zero means the cap never lifts.
+	ENOSPCRelease int
+	// FailFsync makes the Nth fsync of the active tail (explicit Sync,
+	// pre-seal flush, or close-time flush) fail.
+	FailFsync int
+	// CorruptSnapshot flips a byte in the Nth snapshot frame before it is
+	// written, so the snapshot lands on disk whole but fails its CRC —
+	// the compactor's post-write verification must then refuse to delete
+	// the segments it covers, and recovery must fall back to the prior
+	// snapshot.
+	CorruptSnapshot int
+	// FailSnapshotWrite fails the Nth snapshot write before anything
+	// lands (the crash-kill shape: no temp file survives, no rename
+	// happens, covered segments must stay).
+	FailSnapshotWrite int
+}

@@ -12,11 +12,19 @@ type healthResponse struct {
 	// Detail distinguishes why a live process is not ready (e.g. replay
 	// or preload still running) for humans reading the probe by hand.
 	Detail string `json:"detail,omitempty"`
+	// Durability reports the experience log's write path: "ok" while
+	// appends persist, "degraded" while the log is read-only after an
+	// unrecoverable disk failure (selections still served, experiences
+	// dropped and counted). Empty when no log is configured. Degraded
+	// durability never fails either probe flavor: the server is alive
+	// and serving — restart-vs-wait is the operator's call, informed by
+	// this field and bao_explog_dropped_total.
+	Durability string `json:"durability,omitempty"`
 }
 
 // healthHandler serves the liveness/readiness probe:
 //
-//	GET /v1/health             readiness: 200 once ready() (explog replay +
+//	GET /v1/health             readiness: 200 once ready (explog replay +
 //	                           checkpoint rollback — and, on a shard,
 //	                           tenant preload — complete), 503 before
 //	GET /v1/health?probe=live  liveness: 200 whenever the process answers
@@ -26,14 +34,14 @@ type healthResponse struct {
 // liveness flavor to decide restart-vs-wait. The endpoint bypasses
 // admission control: a saturated shard must still answer its probes, or
 // overload would read as death.
-func healthHandler(ready func() (bool, string)) http.HandlerFunc {
+func healthHandler(probe func() healthResponse) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		resp := healthResponse{Live: true}
-		resp.Ready, resp.Detail = ready()
+		resp := probe()
+		resp.Live = true
 		w.Header().Set("Content-Type", "application/json")
 		if r.URL.Query().Get("probe") != "live" && !resp.Ready {
 			w.WriteHeader(http.StatusServiceUnavailable)

@@ -48,6 +48,16 @@ type Config struct {
 	// admitted experience and critical exploration set is appended, and
 	// on startup intact records are replayed into the optimizer.
 	LogPath string
+	// SegmentBytes rotates the experience log's active tail into a
+	// sealed segment at this size; the background compactor then folds
+	// sealed segments into snapshot frames, bounding recovery replay by
+	// tail size instead of total history. Zero means DefaultSegmentBytes
+	// (4 MiB); negative disables rotation and snapshots (the legacy
+	// monolithic log).
+	SegmentBytes int64
+	// ExplogFault installs a deterministic disk-fault script behind the
+	// experience log's file operations (tests and chaos drills only).
+	ExplogFault *DiskFault
 	// ModelPath, when set, loads the value model from there on startup
 	// (if the file exists) and saves the current model there on shutdown.
 	ModelPath string
@@ -156,17 +166,23 @@ func New(b *core.Bao, cfg Config) (*Server, error) {
 		s.eventSink = true
 	}
 	if cfg.LogPath != "" {
-		l, err := OpenExperienceLog(cfg.LogPath, s.o)
+		l, err := OpenLog(cfg.LogPath, LogOptions{
+			Observer:     s.o,
+			SegmentBytes: cfg.SegmentBytes,
+			WindowCap:    b.WindowCap(),
+			ModelGen:     s.gen.Load,
+			Fault:        cfg.ExplogFault,
+		})
 		if err != nil {
 			return nil, err
 		}
 		l.Replay(b)
 		s.log = l
 		b.SetExperienceHook(func(e core.Experience) {
-			l.AppendExperience(e) //nolint:errcheck // best effort; surfaced via Sync at shutdown
+			l.AppendExperience(e) //nolint:errcheck // degradation is counted and journaled inside
 		})
 		b.SetCriticalHook(func(key string, exps []core.Experience) {
-			l.AppendCritical(key, exps) //nolint:errcheck // best effort
+			l.AppendCritical(key, exps) //nolint:errcheck // degradation is counted and journaled inside
 		})
 	}
 	if cfg.ModelPath != "" {
@@ -282,7 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/model", s.admitted(s.handleModel))
 	mux.HandleFunc("/v1/critical", s.admitted(s.handleCritical))
 	mux.HandleFunc("/v1/status", s.handleStatus)
-	mux.HandleFunc("/v1/health", healthHandler(s.readiness))
+	mux.HandleFunc("/v1/health", healthHandler(s.probe))
 	mux.Handle("/", obs.Handler(s.o)) // /metrics and /debug/*
 	// Request-ID middleware wraps outermost so the ID survives the
 	// TimeoutHandler's context replacement and reaches every handler.
@@ -375,13 +391,29 @@ func (s *Server) shutdown(ctx context.Context) error {
 	return firstErr
 }
 
-// readiness reports whether startup durability work has completed — the
-// /v1/health readiness probe. Liveness is implied by answering at all.
-func (s *Server) readiness() (bool, string) {
+// probe builds the /v1/health body: readiness (startup durability work —
+// replay and rollback — completed; liveness is implied by answering at
+// all) plus the experience log's durability state.
+func (s *Server) probe() healthResponse {
+	resp := healthResponse{Durability: s.durability()}
 	if !s.ready.Load() {
-		return false, "replaying experience log / restoring checkpoints"
+		resp.Detail = "replaying experience log / restoring checkpoints"
+		return resp
 	}
-	return true, ""
+	resp.Ready = true
+	return resp
+}
+
+// durability summarizes the experience log's write path: "" when no log
+// is configured, "degraded" while the log is read-only, "ok" otherwise.
+func (s *Server) durability() string {
+	if s.log == nil {
+		return ""
+	}
+	if s.log.Degraded() {
+		return "degraded"
+	}
+	return "ok"
 }
 
 // Generation returns this server's newest model checkpoint generation
@@ -795,6 +827,18 @@ type statusResponse struct {
 	InFlight    int      `json:"inflight"`
 	LogReplayed int      `json:"log_replayed,omitempty"`
 	LogSkipped  int      `json:"log_skipped,omitempty"`
+	// Segmented-log durability state (present when an experience log is
+	// configured): write-path health, the newest durable snapshot's
+	// covered sequence and the model generation it recorded, the frames
+	// a crash right now would replay (the recovery bound), sealed
+	// segments awaiting compaction, and records dropped while degraded.
+	Durability         string `json:"durability,omitempty"`
+	ExplogSnapshotSeq  uint64 `json:"explog_snapshot_seq,omitempty"`
+	ExplogSnapshotGen  uint64 `json:"explog_snapshot_model_gen,omitempty"`
+	ExplogTailFrames   uint64 `json:"explog_tail_frames,omitempty"`
+	ExplogSegments     int    `json:"explog_segments,omitempty"`
+	ExplogDropped      uint64 `json:"explog_dropped,omitempty"`
+	ExplogReopenProbes uint64 `json:"explog_reopen_probes,omitempty"`
 	// Guard state: the breaker's position and trip count (present when
 	// the breaker is configured), the newest model checkpoint generation,
 	// and the rejection/rollback counters.
@@ -833,6 +877,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.log != nil {
 		resp.LogReplayed, resp.LogSkipped = s.log.Replayed()
+		ls := s.log.Stats()
+		resp.Durability = "ok"
+		if ls.Degraded {
+			resp.Durability = "degraded"
+		}
+		resp.ExplogSnapshotSeq = ls.SnapshotSeq
+		resp.ExplogSnapshotGen = ls.SnapshotModelGen
+		resp.ExplogTailFrames = ls.TailFrames
+		resp.ExplogSegments = ls.Segments
+		resp.ExplogDropped = ls.Dropped
+		resp.ExplogReopenProbes = ls.ReopenProbes
 	}
 	if br := s.bao.Breaker(); br != nil {
 		resp.BreakerState = br.State().String()

@@ -92,7 +92,7 @@ func (s *Shard) Name() string { return s.cfg.Name }
 // which shard actually served them.
 func (s *Shard) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/health", healthHandler(s.readiness))
+	mux.HandleFunc("/v1/health", healthHandler(s.probe))
 	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	mux.HandleFunc("/v1/drain", s.handleDrain)
 	mux.HandleFunc("/v1/evict", s.handleEvict)
@@ -135,11 +135,23 @@ func (s *Shard) dispatch(w http.ResponseWriter, r *http.Request) {
 	e.handler.ServeHTTP(w, r)
 }
 
-func (s *Shard) readiness() (bool, string) {
+// probe builds the shard's health body. Durability aggregates over the
+// resident tenants: "degraded" when any resident tenant's experience log
+// has gone read-only, "ok" otherwise. A degraded tenant never fails the
+// probe — the shard still serves selections for it.
+func (s *Shard) probe() healthResponse {
+	resp := healthResponse{Ready: true, Durability: "ok"}
 	if !s.ready.Load() {
-		return false, fmt.Sprintf("rehydrating %d preload tenants", len(s.cfg.Preload))
+		resp.Ready = false
+		resp.Detail = fmt.Sprintf("rehydrating %d preload tenants", len(s.cfg.Preload))
 	}
-	return true, ""
+	if n := s.reg.Degraded(); n > 0 {
+		resp.Durability = "degraded"
+		if resp.Detail == "" {
+			resp.Detail = fmt.Sprintf("%d tenant experience logs read-only", n)
+		}
+	}
+	return resp
 }
 
 // preload activates the configured tenants (replaying their explogs and

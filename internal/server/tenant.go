@@ -361,6 +361,23 @@ func (r *TenantRegistry) Resident() []string {
 	return names
 }
 
+// Degraded counts resident tenants whose experience log has entered
+// read-only degradation — the shard-level durability signal aggregated
+// into /v1/health.
+func (r *TenantRegistry) Degraded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.resident {
+		if e.active && !e.evicting && e.srv != nil {
+			if l := e.srv.Log(); l != nil && l.Degraded() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Stats reports the resident tenant count and approximate bytes.
 func (r *TenantRegistry) Stats() (tenants int, bytes int64) {
 	r.mu.Lock()
